@@ -1,0 +1,176 @@
+// Command ndss-corpus creates and inspects tokenized corpus files.
+//
+// Generate a synthetic Zipf corpus:
+//
+//	ndss-corpus gen -out corpus.tok -texts 10000 -vocab 32000
+//
+// Tokenize plain-text files (one text per line) with a freshly trained
+// BPE model:
+//
+//	ndss-corpus tokenize -in texts.txt -out corpus.tok -bpe model.bpe -vocab 4096
+//
+// Show corpus statistics:
+//
+//	ndss-corpus stats -in corpus.tok
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"ndss/internal/corpus"
+	"ndss/internal/token"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = runGen(os.Args[2:])
+	case "tokenize":
+		err = runTokenize(os.Args[2:])
+	case "stats":
+		err = runStats(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ndss-corpus:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: ndss-corpus {gen|tokenize|stats} [flags]")
+	os.Exit(2)
+}
+
+func runGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	out := fs.String("out", "corpus.tok", "output corpus file")
+	texts := fs.Int("texts", 1000, "number of texts")
+	minLen := fs.Int("minlen", 100, "minimum text length (tokens)")
+	maxLen := fs.Int("maxlen", 1000, "maximum text length (tokens)")
+	vocab := fs.Int("vocab", 32000, "vocabulary size")
+	zipf := fs.Float64("zipf", 1.07, "Zipf exponent (> 1)")
+	seed := fs.Int64("seed", 1, "random seed")
+	dupRate := fs.Float64("duprate", 0.1, "near-duplicate injection rate")
+	dupLen := fs.Int("duplen", 64, "injected snippet length")
+	dupMut := fs.Float64("dupmut", 0.05, "per-token mutation probability in injected snippets")
+	fs.Parse(args)
+
+	c, err := corpus.Synthesize(corpus.SynthConfig{
+		NumTexts: *texts, MinLength: *minLen, MaxLength: *maxLen,
+		VocabSize: *vocab, ZipfS: *zipf, Seed: *seed,
+		DupRate: *dupRate, DupSnippetLen: *dupLen, DupMutateProb: *dupMut,
+	})
+	if err != nil {
+		return err
+	}
+	if err := corpus.WriteFile(c, *out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d texts, %d tokens\n", *out, c.NumTexts(), c.TotalTokens())
+	return nil
+}
+
+func runTokenize(args []string) error {
+	fs := flag.NewFlagSet("tokenize", flag.ExitOnError)
+	in := fs.String("in", "", "input text file, one text per line")
+	out := fs.String("out", "corpus.tok", "output corpus file")
+	bpePath := fs.String("bpe", "", "BPE model file (trained if absent)")
+	vocab := fs.Int("vocab", 4096, "BPE vocabulary size when training")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var lines []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if len(sc.Text()) > 0 {
+			lines = append(lines, sc.Text())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	var bpe *token.BPE
+	if *bpePath != "" {
+		if mf, err := os.Open(*bpePath); err == nil {
+			bpe, err = token.LoadBPE(mf)
+			mf.Close()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("loaded BPE model %s (vocab %d)\n", *bpePath, bpe.VocabSize())
+		}
+	}
+	if bpe == nil {
+		bpe, err = token.TrainBPE(lines, *vocab)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trained BPE model (vocab %d)\n", bpe.VocabSize())
+		if *bpePath != "" {
+			mf, err := os.Create(*bpePath)
+			if err != nil {
+				return err
+			}
+			if err := bpe.Save(mf); err != nil {
+				mf.Close()
+				return err
+			}
+			if err := mf.Close(); err != nil {
+				return err
+			}
+		}
+	}
+	w, err := corpus.NewWriter(*out)
+	if err != nil {
+		return err
+	}
+	var total int64
+	for _, line := range lines {
+		ids := bpe.Encode(line)
+		if err := w.Add(ids); err != nil {
+			return err
+		}
+		total += int64(len(ids))
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d texts, %d tokens\n", *out, len(lines), total)
+	return nil
+}
+
+func runStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	in := fs.String("in", "", "corpus file")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	c, err := corpus.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	s := c.Stats()
+	fmt.Printf("texts:           %d\n", s.NumTexts)
+	fmt.Printf("tokens:          %d\n", s.TotalTokens)
+	fmt.Printf("distinct tokens: %d\n", s.DistinctTokens)
+	fmt.Printf("text length:     min %d / mean %.1f / max %d\n", s.MinTextLen, s.MeanTextLen, s.MaxTextLen)
+	return nil
+}

@@ -1,0 +1,114 @@
+// Command ndss-index builds a near-duplicate search index from a corpus
+// file.
+//
+//	ndss-index -corpus corpus.tok -out idx -k 32 -t 50
+//
+// By default the corpus is loaded into memory (Algorithm 1's main path);
+// -external switches to the out-of-core hash-aggregation builder for
+// corpora larger than memory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ndss/internal/corpus"
+	"ndss/internal/index"
+)
+
+func main() {
+	corpusPath := flag.String("corpus", "", "corpus file (required)")
+	out := flag.String("out", "idx", "output index directory")
+	k := flag.Int("k", 32, "number of min-hash functions")
+	t := flag.Int("t", 50, "length threshold (minimum indexed sequence length)")
+	seed := flag.Int64("seed", 1, "hash family seed")
+	external := flag.Bool("external", false, "use the out-of-core builder")
+	memBudget := flag.Int64("mem", 256<<20, "memory budget in bytes for the external builder")
+	parallel := flag.Int("parallel", 0, "window-generation goroutines (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "build this many shard indexes concurrently and merge them")
+	check := flag.Bool("check", false, "verify the integrity of an existing index at -out and exit")
+	flag.Parse()
+	if *check {
+		if err := runCheck(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "ndss-index:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *corpusPath == "" {
+		fmt.Fprintln(os.Stderr, "ndss-index: -corpus is required")
+		os.Exit(2)
+	}
+	if err := run(*corpusPath, *out, index.BuildOptions{
+		K: *k, T: *t, Seed: *seed, MemoryBudget: *memBudget, Parallelism: *parallel,
+	}, *external, *shards); err != nil {
+		fmt.Fprintln(os.Stderr, "ndss-index:", err)
+		os.Exit(1)
+	}
+}
+
+// runCheck opens the index and validates checksums over every inverted
+// file.
+func runCheck(dir string) error {
+	ix, err := index.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+	if err := ix.VerifyIntegrity(); err != nil {
+		return err
+	}
+	size, err := ix.SizeOnDisk()
+	if err != nil {
+		return err
+	}
+	m := ix.Meta()
+	fmt.Printf("index %s OK: k=%d t=%d, %d texts, %d windows, %d bytes\n",
+		dir, m.K, m.T, m.NumTexts, ix.TotalPostings(), size)
+	return nil
+}
+
+func run(corpusPath, out string, opts index.BuildOptions, external bool, shards int) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	var stats *index.BuildStats
+	switch {
+	case external:
+		r, err := corpus.OpenReader(corpusPath)
+		if err != nil {
+			return err
+		}
+		defer r.Close()
+		stats, err = index.BuildExternal(r, out, opts)
+		if err != nil {
+			return err
+		}
+	case shards > 1:
+		c, err := corpus.ReadFile(corpusPath)
+		if err != nil {
+			return err
+		}
+		if err := index.BuildSharded(c, out, opts, shards); err != nil {
+			return err
+		}
+	default:
+		c, err := corpus.ReadFile(corpusPath)
+		if err != nil {
+			return err
+		}
+		stats, err = index.Build(c, out, opts)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("index written to %s\n", out)
+	if stats != nil {
+		fmt.Printf("  compact windows: %d\n", stats.Windows)
+		fmt.Printf("  bytes written:   %d\n", stats.BytesWritten)
+		fmt.Printf("  generation time: %v\n", stats.GenTime)
+		fmt.Printf("  io time:         %v\n", stats.IOTime)
+	}
+	return nil
+}

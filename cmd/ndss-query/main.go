@@ -1,0 +1,113 @@
+// Command ndss-query runs near-duplicate sequence searches against an
+// index.
+//
+// Query with an explicit token sequence:
+//
+//	ndss-query -index idx -corpus corpus.tok -theta 0.8 -tokens 5,17,99,...
+//
+// Or take the query from a region of a corpus text (useful for
+// self-similarity checks):
+//
+//	ndss-query -index idx -corpus corpus.tok -theta 0.8 -from-text 42 -at 100 -len 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ndss/internal/core"
+	"ndss/internal/corpus"
+	"ndss/internal/search"
+)
+
+func main() {
+	idxDir := flag.String("index", "idx", "index directory")
+	corpusPath := flag.String("corpus", "", "corpus file (enables -verify and -from-text)")
+	theta := flag.Float64("theta", 0.8, "Jaccard similarity threshold")
+	tokens := flag.String("tokens", "", "comma-separated query token ids")
+	fromText := flag.Int("from-text", -1, "take the query from this corpus text id")
+	at := flag.Int("at", 0, "query start offset within -from-text")
+	length := flag.Int("len", 64, "query length for -from-text")
+	prefix := flag.Bool("prefix", true, "use prefix filtering")
+	verify := flag.Bool("verify", false, "verify exact Jaccard of matches")
+	flag.Parse()
+
+	if err := run(*idxDir, *corpusPath, *theta, *tokens, *fromText, *at, *length, *prefix, *verify); err != nil {
+		fmt.Fprintln(os.Stderr, "ndss-query:", err)
+		os.Exit(1)
+	}
+}
+
+func run(idxDir, corpusPath string, theta float64, tokens string, fromText, at, length int, prefix, verify bool) error {
+	var src search.TextSource
+	var reader *corpus.Reader
+	if corpusPath != "" {
+		r, err := corpus.OpenReader(corpusPath)
+		if err != nil {
+			return err
+		}
+		defer r.Close()
+		src, reader = r, r
+	}
+	engine, err := core.Open(idxDir, src)
+	if err != nil {
+		return err
+	}
+	defer engine.Close()
+
+	var query []uint32
+	switch {
+	case tokens != "":
+		for _, part := range strings.Split(tokens, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 32)
+			if err != nil {
+				return fmt.Errorf("bad token %q: %w", part, err)
+			}
+			query = append(query, uint32(v))
+		}
+	case fromText >= 0:
+		if reader == nil {
+			return fmt.Errorf("-from-text requires -corpus")
+		}
+		text, err := reader.ReadText(uint32(fromText))
+		if err != nil {
+			return err
+		}
+		if at < 0 || at+length > len(text) {
+			return fmt.Errorf("region [%d, %d) out of range for text of %d tokens", at, at+length, len(text))
+		}
+		query = text[at : at+length]
+	default:
+		return fmt.Errorf("provide -tokens or -from-text")
+	}
+
+	matches, stats, err := engine.Search(query, search.Options{
+		Theta: theta, PrefixFilter: prefix, Verify: verify,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query: %d tokens, theta %.2f, beta %d/%d collisions required\n",
+		len(query), theta, stats.Beta, stats.K)
+	fmt.Printf("latency: total %v (io %v, cpu %v), %d bytes read\n",
+		stats.Total, stats.IOTime, stats.CPUTime, stats.IOBytes)
+	fmt.Printf("lists: %d short, %d long; %d candidate texts\n",
+		stats.ShortLists, stats.LongLists, stats.Candidates)
+	if len(matches) == 0 {
+		fmt.Println("no near-duplicate sequences found")
+		return nil
+	}
+	fmt.Printf("%d near-duplicate span(s):\n", len(matches))
+	for _, m := range matches {
+		line := fmt.Sprintf("  text %d [%d, %d] collisions %d (est. Jaccard %.3f)",
+			m.TextID, m.Start, m.End, m.Collisions, m.EstJaccard)
+		if verify {
+			line += fmt.Sprintf(" exact span Jaccard %.3f", m.Jaccard)
+		}
+		fmt.Println(line)
+	}
+	return nil
+}

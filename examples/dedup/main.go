@@ -1,0 +1,102 @@
+// Train/test contamination scan: given a training corpus and a
+// benchmark (test) set, flag test examples whose content has
+// near-duplicates in the training data — the decontamination /
+// deduplication workflow that motivates near-duplicate search over LLM
+// corpora (near-duplicates are far more pervasive than the exact
+// duplicates existing dedup tools catch).
+//
+//	go run ./examples/dedup
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"ndss"
+	"ndss/internal/corpus"
+)
+
+func main() {
+	// Training corpus.
+	train := corpus.MustSynthesize(corpus.SynthConfig{
+		NumTexts:      1000,
+		MinLength:     100,
+		MaxLength:     500,
+		VocabSize:     32000,
+		ZipfS:         1.07,
+		Seed:          5,
+		DupRate:       0.1,
+		DupSnippetLen: 64,
+		DupMutateProb: 0.05,
+	})
+	texts := make([][]uint32, train.NumTexts())
+	for i := range texts {
+		texts[i] = train.Text(uint32(i))
+	}
+
+	// Test set: 30 clean examples plus 10 contaminated ones — snippets
+	// lifted from training texts with light edits (5% token mutations),
+	// which exact-match dedup would miss.
+	rng := rand.New(rand.NewSource(42))
+	type testExample struct {
+		tokens       []uint32
+		contaminated bool
+	}
+	var testSet []testExample
+	for i := 0; i < 30; i++ {
+		ex := make([]uint32, 64)
+		for j := range ex {
+			ex[j] = uint32(rng.Intn(32000))
+		}
+		testSet = append(testSet, testExample{tokens: ex})
+	}
+	for i := 0; i < 10; i++ {
+		q, _, _, ok := corpus.PlantQuery(train, 64, 0.05, 32000, rng)
+		if !ok {
+			log.Fatal("failed to plant contaminated example")
+		}
+		testSet = append(testSet, testExample{tokens: q, contaminated: true})
+	}
+	rng.Shuffle(len(testSet), func(i, j int) { testSet[i], testSet[j] = testSet[j], testSet[i] })
+
+	dir, err := os.MkdirTemp("", "ndss-dedup-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	if _, err := ndss.BuildIndex(texts, dir, ndss.BuildOptions{K: 32, Seed: 1, T: 25}); err != nil {
+		log.Fatal(err)
+	}
+	db, err := ndss.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	fmt.Printf("scanning %d test examples against %d training texts (theta 0.8)\n\n",
+		len(testSet), train.NumTexts())
+	var truePos, falsePos, falseNeg int
+	for i, ex := range testSet {
+		matches, _, err := db.Search(ex.tokens, ndss.SearchOptions{Theta: 0.8, PrefixFilter: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		flagged := len(matches) > 0
+		switch {
+		case flagged && ex.contaminated:
+			truePos++
+			fmt.Printf("  test #%02d CONTAMINATED: near-duplicate in training text %d [%d, %d]\n",
+				i, matches[0].TextID, matches[0].Start, matches[0].End)
+		case flagged && !ex.contaminated:
+			falsePos++
+			fmt.Printf("  test #%02d flagged but was generated clean (coincidental overlap)\n", i)
+		case !flagged && ex.contaminated:
+			falseNeg++
+			fmt.Printf("  test #%02d MISSED: contaminated but not flagged\n", i)
+		}
+	}
+	fmt.Printf("\ncontamination scan: %d found, %d missed, %d false alarms (of 10 planted)\n",
+		truePos, falseNeg, falsePos)
+}

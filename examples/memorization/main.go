@@ -1,0 +1,96 @@
+// Memorization evaluation (paper §5) end-to-end: synthesize a training
+// corpus, index it, train language models of two capacities on it,
+// sample texts from each without prompts, and measure how many generated
+// sequences are near-duplicates of training data.
+//
+//	go run ./examples/memorization
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"ndss"
+	"ndss/internal/corpus"
+	"ndss/internal/lm"
+	"ndss/internal/memorize"
+	"ndss/internal/search"
+)
+
+func main() {
+	// The training corpus: web-like Zipf token statistics with some
+	// naturally repeated passages.
+	train := corpus.MustSynthesize(corpus.SynthConfig{
+		NumTexts:      800,
+		MinLength:     100,
+		MaxLength:     600,
+		VocabSize:     32000,
+		ZipfS:         1.07,
+		Seed:          1,
+		DupRate:       0.15,
+		DupSnippetLen: 64,
+		DupMutateProb: 0.05,
+	})
+	texts := make([][]uint32, train.NumTexts())
+	for i := range texts {
+		texts[i] = train.Text(uint32(i))
+	}
+	fmt.Printf("training corpus: %d texts, %d tokens\n", train.NumTexts(), train.TotalTokens())
+
+	dir, err := os.MkdirTemp("", "ndss-memorization-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	// Paper settings: t=25, k=32.
+	if _, err := ndss.BuildIndex(texts, dir, ndss.BuildOptions{K: 32, Seed: 1, T: 25}); err != nil {
+		log.Fatal(err)
+	}
+	db, err := ndss.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.AttachTexts(texts); err != nil {
+		log.Fatal(err)
+	}
+
+	// Two model capacities standing in for a small and a large LLM.
+	for _, cfg := range []struct {
+		name  string
+		order int
+	}{
+		{"small  (order-4)", 4},
+		{"large  (order-5)", 5},
+	} {
+		model, err := lm.Train(train, lm.Config{Order: cfg.order})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Unprompted top-50 sampling, 512-token texts, 32-token query
+		// windows — the paper's §5 protocol.
+		queries, err := memorize.GenerateQueries(model, memorize.GenConfig{
+			NumTexts:    10,
+			TextLength:  512,
+			QueryLength: 32,
+			Sampler:     lm.TopK{K: 50},
+			Seed:        7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nmodel %s: %d contexts, %d generated query windows\n",
+			cfg.name, model.NumContexts(), len(queries))
+		for _, theta := range []float64{1.0, 0.9, 0.8} {
+			res, err := memorize.Evaluate(db.Searcher(), queries, memorize.EvalConfig{
+				Options: search.Options{Theta: theta, PrefixFilter: true},
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  theta %.1f: %5.1f%% of generated windows have near-duplicates in training data\n",
+				theta, res.Ratio*100)
+		}
+	}
+}

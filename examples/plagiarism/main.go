@@ -1,0 +1,122 @@
+// Plagiarism detection: index a small document collection and check a
+// suspicious submission for passages lifted (possibly with light edits)
+// from the collection — the partial-plagiarism use case the paper's
+// related work (ALLIGN) targets, served here by the ndss index.
+//
+//	go run ./examples/plagiarism
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"ndss"
+	"ndss/internal/token"
+)
+
+// The document collection: public-domain style snippets.
+var library = []string{
+	`It was the best of times, it was the worst of times, it was the age of wisdom,
+	it was the age of foolishness, it was the epoch of belief, it was the epoch of
+	incredulity, it was the season of light, it was the season of darkness, it was
+	the spring of hope, it was the winter of despair. We had everything before us,
+	we had nothing before us, we were all going direct to heaven, we were all going
+	direct the other way.`,
+
+	`Four score and seven years ago our fathers brought forth on this continent a
+	new nation, conceived in liberty, and dedicated to the proposition that all men
+	are created equal. Now we are engaged in a great civil war, testing whether
+	that nation, or any nation so conceived and so dedicated, can long endure. We
+	are met on a great battlefield of that war.`,
+
+	`Call me Ishmael. Some years ago, never mind how long precisely, having little
+	or no money in my purse, and nothing particular to interest me on shore, I
+	thought I would sail about a little and see the watery part of the world. It is
+	a way I have of driving off the spleen and regulating the circulation.`,
+
+	`In the beginning God created the heaven and the earth. And the earth was
+	without form, and void, and darkness was upon the face of the deep. And the
+	spirit of God moved upon the face of the waters. And God said, let there be
+	light, and there was light.`,
+}
+
+// The submission: original prose around a lightly edited copy of the
+// Gettysburg opening (several words changed) and an exact Dickens quote.
+const submission = `My essay begins with some thoughts of my own about history
+and memory, written in my own words and in my own voice. Four score and seven
+years ago our ancestors brought forth upon this continent a new nation,
+conceived in freedom, and dedicated to the proposition that all people are
+created equal. After that borrowed passage, I return to original analysis.
+It was the best of times, it was the worst of times, it was the age of wisdom,
+it was the age of foolishness, it was the epoch of belief. And finally my own
+conclusion, in my own words once more.`
+
+func main() {
+	// Tokenize the library with a word tokenizer so near-duplicates are
+	// robust to punctuation and casing.
+	tok := token.NewWordTokenizer()
+	texts := make([][]uint32, len(library))
+	for i, doc := range library {
+		texts[i] = tok.Encode(doc)
+	}
+
+	dir, err := os.MkdirTemp("", "ndss-plagiarism-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	// T=20: flag passages of 20+ words.
+	if _, err := ndss.BuildIndex(texts, dir, ndss.BuildOptions{K: 32, Seed: 1, T: 20}); err != nil {
+		log.Fatal(err)
+	}
+	db, err := ndss.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.AttachTexts(texts); err != nil {
+		log.Fatal(err)
+	}
+
+	// Slide a window over the submission and query each chunk.
+	subTokens := tok.Encode(submission)
+	const window = 20
+	fmt.Printf("submission: %d words; scanning %d-word windows at theta 0.6\n\n", len(subTokens), window)
+	reported := map[string]bool{}
+	for off := 0; off+window <= len(subTokens); off += window / 2 {
+		q := subTokens[off : off+window]
+		matches, _, err := db.Search(q, ndss.SearchOptions{Theta: 0.6, PrefixFilter: true, Verify: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, m := range matches {
+			key := fmt.Sprintf("%d-%d", m.TextID, m.Start/10)
+			if reported[key] {
+				continue
+			}
+			reported[key] = true
+			passage := decode(tok, texts[m.TextID][m.Start:m.End+1])
+			fmt.Printf("PLAGIARISM SUSPECT: submission words [%d, %d] match document %d\n",
+				off, off+window-1, m.TextID)
+			fmt.Printf("  source span [%d, %d], estimated Jaccard %.2f\n", m.Start, m.End, m.EstJaccard)
+			fmt.Printf("  source text: %q\n\n", clip(passage, 90))
+		}
+	}
+	if len(reported) == 0 {
+		fmt.Println("no plagiarized passages detected")
+	}
+}
+
+func decode(tok *token.WordTokenizer, ids []uint32) string {
+	return tok.Decode(ids)
+}
+
+func clip(s string, n int) string {
+	s = strings.Join(strings.Fields(s), " ")
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -1,0 +1,71 @@
+// Quickstart: build an index over a small tokenized corpus, then find
+// near-duplicates of a query sequence.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	"ndss"
+)
+
+func main() {
+	// A toy corpus: 200 "texts" of random tokens, where text 7 and text
+	// 42 share a 40-token passage (text 42's copy has two tokens
+	// changed — a near-duplicate, not an exact one).
+	rng := rand.New(rand.NewSource(1))
+	texts := make([][]uint32, 200)
+	for i := range texts {
+		texts[i] = make([]uint32, 300)
+		for j := range texts[i] {
+			texts[i][j] = uint32(rng.Intn(10000))
+		}
+	}
+	passage := texts[7][100:140]
+	copy(texts[42][50:90], passage)
+	texts[42][60] = 9999 // two edits out of 40 tokens
+	texts[42][75] = 9998
+
+	// Offline: build the index. K is the number of min-hash functions
+	// (more = sharper similarity estimates), T the minimum sequence
+	// length worth reporting.
+	dir, err := os.MkdirTemp("", "ndss-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	stats, err := ndss.BuildIndex(texts, dir, ndss.BuildOptions{K: 32, Seed: 1, T: 25})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d compact windows from %d texts\n", stats.Windows, len(texts))
+
+	// Online: query with the original passage. Both the source (exact)
+	// and the edited copy (near-duplicate) should surface.
+	db, err := ndss.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.AttachTexts(texts); err != nil {
+		log.Fatal(err)
+	}
+	matches, qstats, err := db.Search(passage, ndss.SearchOptions{
+		Theta:        0.8, // estimated Jaccard similarity >= 0.8
+		PrefixFilter: true,
+		Verify:       true, // also compute exact Jaccard per match
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query: %d tokens, needed %d/%d min-hash collisions, took %v\n",
+		len(passage), qstats.Beta, qstats.K, qstats.Total)
+	for _, m := range matches {
+		fmt.Printf("  text %3d  span [%3d, %3d]  est. Jaccard %.2f  exact %.2f\n",
+			m.TextID, m.Start, m.End, m.EstJaccard, m.Jaccard)
+	}
+}

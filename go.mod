@@ -1,0 +1,3 @@
+module ndss
+
+go 1.22

@@ -1,0 +1,142 @@
+// Package baseline provides the comparison systems the paper's
+// evaluation is framed against: an exact brute-force scan of Definition
+// 2 (ground truth for the index-based algorithm), a true-Jaccard scan
+// (Definition 1 ground truth, for recall measurements), a suffix-array
+// exact-substring index (the "exact memorization" tooling of prior
+// work), and a seed-and-extend heuristic (the related-work approach
+// without guarantees).
+package baseline
+
+import (
+	"math"
+	"sort"
+
+	"ndss/internal/corpus"
+	"ndss/internal/hash"
+	"ndss/internal/search"
+)
+
+// Span is a reported near-duplicate region in a text.
+type Span struct {
+	TextID     uint32
+	Start, End int32
+}
+
+// MinHashScan answers Definition 2 by brute force: it enumerates every
+// sequence of length >= t in every text, counts min-hash collisions with
+// the query incrementally, and merges overlapping qualifying sequences.
+// O(k * n^2) per text — usable only at test scale, but exact by
+// construction.
+func MinHashScan(c *corpus.Corpus, fam *hash.Family, query []uint32, theta float64, t int) []Span {
+	k := fam.K()
+	beta := int(math.Ceil(float64(k) * theta))
+	if beta < 1 {
+		beta = 1
+	}
+	qs, err := fam.Sketch(query)
+	if err != nil {
+		return nil
+	}
+	var out []Span
+	mins := make([]uint64, k)
+	for id := 0; id < c.NumTexts(); id++ {
+		text := c.Text(uint32(id))
+		var qualifying []search.Interval
+		for i := 0; i < len(text); i++ {
+			for fn := 0; fn < k; fn++ {
+				mins[fn] = fam.Func(fn).Hash(text[i])
+			}
+			for j := i; j < len(text); j++ {
+				if j > i {
+					for fn := 0; fn < k; fn++ {
+						if h := fam.Func(fn).Hash(text[j]); h < mins[fn] {
+							mins[fn] = h
+						}
+					}
+				}
+				if j-i+1 < t {
+					continue
+				}
+				coll := 0
+				for fn := 0; fn < k; fn++ {
+					if mins[fn] == qs[fn] {
+						coll++
+					}
+				}
+				if coll >= beta {
+					qualifying = append(qualifying, search.Interval{Lo: int32(i), Hi: int32(j)})
+				}
+			}
+		}
+		out = appendMergedSpans(out, uint32(id), qualifying)
+	}
+	return out
+}
+
+// TrueJaccardScan answers Definition 1 by brute force: sequences whose
+// exact distinct Jaccard similarity with the query is >= theta, merged
+// per text. It maintains the intersection/union sizes incrementally
+// while extending the sequence end. O(n^2) per text.
+func TrueJaccardScan(c *corpus.Corpus, query []uint32, theta float64, t int) []Span {
+	qset := make(map[uint32]bool, len(query))
+	for _, tok := range query {
+		qset[tok] = true
+	}
+	qDistinct := len(qset)
+	var out []Span
+	for id := 0; id < c.NumTexts(); id++ {
+		text := c.Text(uint32(id))
+		var qualifying []search.Interval
+		counts := make(map[uint32]int)
+		for i := 0; i < len(text); i++ {
+			clear(counts)
+			inter, extra := 0, 0 // |S ∩ Q|, |S \ Q| over distinct tokens
+			for j := i; j < len(text); j++ {
+				tok := text[j]
+				if counts[tok] == 0 {
+					if qset[tok] {
+						inter++
+					} else {
+						extra++
+					}
+				}
+				counts[tok]++
+				if j-i+1 < t {
+					continue
+				}
+				union := qDistinct + extra
+				if float64(inter) >= theta*float64(union) {
+					qualifying = append(qualifying, search.Interval{Lo: int32(i), Hi: int32(j)})
+				}
+			}
+		}
+		out = appendMergedSpans(out, uint32(id), qualifying)
+	}
+	return out
+}
+
+// appendMergedSpans merges overlapping qualifying intervals of one text
+// and appends them to out.
+func appendMergedSpans(out []Span, textID uint32, qualifying []search.Interval) []Span {
+	if len(qualifying) == 0 {
+		return out
+	}
+	sort.Slice(qualifying, func(a, b int) bool {
+		if qualifying[a].Lo != qualifying[b].Lo {
+			return qualifying[a].Lo < qualifying[b].Lo
+		}
+		return qualifying[a].Hi < qualifying[b].Hi
+	})
+	cur := qualifying[0]
+	for _, iv := range qualifying[1:] {
+		if iv.Lo <= cur.Hi {
+			if iv.Hi > cur.Hi {
+				cur.Hi = iv.Hi
+			}
+		} else {
+			out = append(out, Span{TextID: textID, Start: cur.Lo, End: cur.Hi})
+			cur = iv
+		}
+	}
+	return append(out, Span{TextID: textID, Start: cur.Lo, End: cur.Hi})
+}

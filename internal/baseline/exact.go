@@ -1,0 +1,89 @@
+package baseline
+
+import (
+	"encoding/binary"
+	"index/suffixarray"
+	"sort"
+
+	"ndss/internal/corpus"
+)
+
+// ExactIndex finds verbatim occurrences of a token sequence in a corpus
+// using a suffix array, the approach prior work uses to measure exact
+// memorization (e.g. training-data dedup via suffix arrays). Tokens are
+// encoded as fixed-width 4-byte words; raw byte matches are filtered to
+// word-aligned, non-text-spanning hits.
+type ExactIndex struct {
+	sa *suffixarray.Index
+	// starts[i] is the byte offset where text i begins in the
+	// concatenated buffer; a final sentinel holds the total length.
+	starts []int64
+}
+
+// Location is one verbatim occurrence.
+type Location struct {
+	TextID uint32
+	Pos    int32 // token offset within the text
+}
+
+// NewExactIndex builds the suffix array over the whole corpus.
+// Construction is O(N log N) over N total tokens.
+func NewExactIndex(c *corpus.Corpus) *ExactIndex {
+	total := c.TotalTokens()
+	buf := make([]byte, 0, total*4)
+	starts := make([]int64, 0, c.NumTexts()+1)
+	for id := 0; id < c.NumTexts(); id++ {
+		starts = append(starts, int64(len(buf)))
+		for _, tok := range c.Text(uint32(id)) {
+			var w [4]byte
+			binary.BigEndian.PutUint32(w[:], tok)
+			buf = append(buf, w[:]...)
+		}
+	}
+	starts = append(starts, int64(len(buf)))
+	return &ExactIndex{sa: suffixarray.New(buf), starts: starts}
+}
+
+// Lookup returns every verbatim occurrence of query, or up to maxHits of
+// them when maxHits > 0. Results are ordered by (TextID, Pos).
+func (e *ExactIndex) Lookup(query []uint32, maxHits int) []Location {
+	if len(query) == 0 {
+		return nil
+	}
+	pat := make([]byte, 4*len(query))
+	for i, tok := range query {
+		binary.BigEndian.PutUint32(pat[4*i:], tok)
+	}
+	// Over-fetch: unaligned byte matches are discarded below.
+	offsets := e.sa.Lookup(pat, -1)
+	var out []Location
+	for _, off := range offsets {
+		if off%4 != 0 {
+			continue
+		}
+		textIdx := sort.Search(len(e.starts)-1, func(i int) bool { return e.starts[i+1] > int64(off) })
+		// The match must not span into the next text.
+		if int64(off)+int64(len(pat)) > e.starts[textIdx+1] {
+			continue
+		}
+		out = append(out, Location{
+			TextID: uint32(textIdx),
+			Pos:    int32((int64(off) - e.starts[textIdx]) / 4),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TextID != out[j].TextID {
+			return out[i].TextID < out[j].TextID
+		}
+		return out[i].Pos < out[j].Pos
+	})
+	if maxHits > 0 && len(out) > maxHits {
+		out = out[:maxHits]
+	}
+	return out
+}
+
+// Contains reports whether query occurs verbatim anywhere in the corpus.
+func (e *ExactIndex) Contains(query []uint32) bool {
+	return len(e.Lookup(query, 1)) > 0
+}

@@ -1,0 +1,134 @@
+package baseline
+
+import (
+	"ndss/internal/corpus"
+	"ndss/internal/hash"
+)
+
+// SeedExtend is the classic seed-and-extend heuristic from the
+// similarity-search literature (BLAST-style): find exact w-gram seed
+// matches between the query and the corpus, extend each seed greedily in
+// both directions, and keep extensions whose Jaccard similarity against
+// the query clears the threshold. Unlike the compact-window algorithm it
+// offers NO completeness guarantee — a near-duplicate with no exact
+// w-gram in common with the query is invisible to it. It exists as the
+// related-work comparator for the recall experiments.
+type SeedExtend struct {
+	c *corpus.Corpus
+	w int
+	// seeds maps a w-gram fingerprint to its occurrences.
+	seeds map[uint64][]Location
+}
+
+// NewSeedExtend indexes every w-gram of the corpus. w is the seed width
+// in tokens (common values: 4–16).
+func NewSeedExtend(c *corpus.Corpus, w int) *SeedExtend {
+	if w < 1 {
+		w = 1
+	}
+	se := &SeedExtend{c: c, w: w, seeds: make(map[uint64][]Location)}
+	for id := 0; id < c.NumTexts(); id++ {
+		text := c.Text(uint32(id))
+		for i := 0; i+w <= len(text); i++ {
+			fp := fingerprint(text[i : i+w])
+			se.seeds[fp] = append(se.seeds[fp], Location{TextID: uint32(id), Pos: int32(i)})
+		}
+	}
+	return se
+}
+
+// fingerprint hashes a w-gram order-sensitively (FNV-1a over the token
+// words).
+func fingerprint(gram []uint32) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, tok := range gram {
+		for s := 0; s < 32; s += 8 {
+			h ^= uint64(tok>>s) & 0xff
+			h *= prime64
+		}
+	}
+	return h
+}
+
+// Search looks for near-duplicates of query with Jaccard >= theta and
+// length >= t. Each seed hit is extended to the query's length and
+// verified with the exact distinct Jaccard similarity; overlapping
+// survivors are merged. Recall is limited by seed availability.
+func (se *SeedExtend) Search(query []uint32, theta float64, t int) []Span {
+	if len(query) < se.w {
+		return nil
+	}
+	type cand struct{ lo, hi int32 }
+	regions := map[uint32]map[cand]bool{}
+	for qi := 0; qi+se.w <= len(query); qi++ {
+		fp := fingerprint(query[qi : qi+se.w])
+		for _, loc := range se.seeds[fp] {
+			// Extend the seed to cover what the full query would cover
+			// if aligned at this seed.
+			text := se.c.Text(loc.TextID)
+			lo := loc.Pos - int32(qi)
+			hi := lo + int32(len(query)) - 1
+			if lo < 0 {
+				lo = 0
+			}
+			if hi >= int32(len(text)) {
+				hi = int32(len(text)) - 1
+			}
+			if int(hi-lo+1) < t {
+				continue
+			}
+			m := regions[loc.TextID]
+			if m == nil {
+				m = map[cand]bool{}
+				regions[loc.TextID] = m
+			}
+			m[cand{lo, hi}] = true
+		}
+	}
+	var out []Span
+	for textID, cands := range regions {
+		text := se.c.Text(textID)
+		var spans []Span
+		for cd := range cands {
+			if hash.DistinctJaccard(query, text[cd.lo:cd.hi+1]) >= theta {
+				spans = append(spans, Span{TextID: textID, Start: cd.lo, End: cd.hi})
+			}
+		}
+		out = append(out, mergeSpans(spans)...)
+	}
+	return out
+}
+
+// mergeSpans merges overlapping spans of one text.
+func mergeSpans(spans []Span) []Span {
+	if len(spans) == 0 {
+		return nil
+	}
+	ivs := make([]struct{ lo, hi int32 }, len(spans))
+	for i, s := range spans {
+		ivs[i] = struct{ lo, hi int32 }{s.Start, s.End}
+	}
+	// Insertion sort: candidate sets are small.
+	for i := 1; i < len(ivs); i++ {
+		for j := i; j > 0 && ivs[j].lo < ivs[j-1].lo; j-- {
+			ivs[j], ivs[j-1] = ivs[j-1], ivs[j]
+		}
+	}
+	var out []Span
+	cur := ivs[0]
+	for _, iv := range ivs[1:] {
+		if iv.lo <= cur.hi {
+			if iv.hi > cur.hi {
+				cur.hi = iv.hi
+			}
+		} else {
+			out = append(out, Span{TextID: spans[0].TextID, Start: cur.lo, End: cur.hi})
+			cur = iv
+		}
+	}
+	return append(out, Span{TextID: spans[0].TextID, Start: cur.lo, End: cur.hi})
+}

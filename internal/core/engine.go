@@ -1,0 +1,70 @@
+// Package core ties the substrates together into the system the paper
+// describes: offline index construction (Algorithm 1) over a corpus and
+// online near-duplicate sequence search (Algorithm 3) against the
+// resulting index directory. It is the implementation behind the public
+// ndss package.
+package core
+
+import (
+	"fmt"
+	"os"
+
+	"ndss/internal/corpus"
+	"ndss/internal/index"
+	"ndss/internal/search"
+)
+
+// Engine is an opened near-duplicate search database: an index plus an
+// optional text source for verification.
+type Engine struct {
+	ix       *index.Index
+	searcher *search.Searcher
+	src      search.TextSource
+}
+
+// BuildIndex builds an index directory from an in-memory corpus,
+// creating dir if needed.
+func BuildIndex(c *corpus.Corpus, dir string, opts index.BuildOptions) (*index.BuildStats, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: create index dir: %w", err)
+	}
+	return index.Build(c, dir, opts)
+}
+
+// BuildIndexExternal builds an index directory from a corpus file using
+// the out-of-core hash-aggregation builder.
+func BuildIndexExternal(corpusPath, dir string, opts index.BuildOptions) (*index.BuildStats, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: create index dir: %w", err)
+	}
+	r, err := corpus.OpenReader(corpusPath)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return index.BuildExternal(r, dir, opts)
+}
+
+// Open opens an index directory. src supplies text content for
+// verification and may be nil.
+func Open(dir string, src search.TextSource) (*Engine, error) {
+	ix, err := index.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{ix: ix, searcher: search.New(ix, src), src: src}, nil
+}
+
+// Search runs one near-duplicate sequence search.
+func (e *Engine) Search(query []uint32, opts search.Options) ([]search.Match, *search.Stats, error) {
+	return e.searcher.Search(query, opts)
+}
+
+// Index exposes the underlying index for stats and experiments.
+func (e *Engine) Index() *index.Index { return e.ix }
+
+// Searcher exposes the underlying searcher.
+func (e *Engine) Searcher() *search.Searcher { return e.searcher }
+
+// Close releases the index files.
+func (e *Engine) Close() error { return e.ix.Close() }

@@ -1,0 +1,93 @@
+package corpus
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func benchCorpus(b *testing.B) *Corpus {
+	b.Helper()
+	return MustSynthesize(SynthConfig{
+		NumTexts: 500, MinLength: 100, MaxLength: 500,
+		VocabSize: 32000, ZipfS: 1.07, Seed: 1,
+	})
+}
+
+func BenchmarkSynthesize(b *testing.B) {
+	cfg := SynthConfig{
+		NumTexts: 200, MinLength: 100, MaxLength: 500,
+		VocabSize: 32000, ZipfS: 1.07, Seed: 1,
+		DupRate: 0.1, DupSnippetLen: 64, DupMutateProb: 0.05,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = MustSynthesize(cfg)
+	}
+}
+
+func BenchmarkWriteFile(b *testing.B) {
+	c := benchCorpus(b)
+	dir := b.TempDir()
+	b.SetBytes(c.TotalTokens() * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := WriteFile(c, filepath.Join(dir, "c.tok")); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadFile(b *testing.B) {
+	c := benchCorpus(b)
+	path := filepath.Join(b.TempDir(), "c.tok")
+	if err := WriteFile(c, path); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(c.TotalTokens() * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadFile(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStream(b *testing.B) {
+	c := benchCorpus(b)
+	path := filepath.Join(b.TempDir(), "c.tok")
+	if err := WriteFile(c, path); err != nil {
+		b.Fatal(err)
+	}
+	r, err := OpenReader(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	b.SetBytes(c.TotalTokens() * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := r.Stream(1<<16, func(_ uint32, _ [][]uint32) error { return nil })
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandomAccess(b *testing.B) {
+	c := benchCorpus(b)
+	path := filepath.Join(b.TempDir(), "c.tok")
+	if err := WriteFile(c, path); err != nil {
+		b.Fatal(err)
+	}
+	r, err := OpenReader(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.ReadText(uint32(i % r.NumTexts())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,446 @@
+package corpus
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestCorpusBasics(t *testing.T) {
+	c := New(nil)
+	if c.NumTexts() != 0 || c.TotalTokens() != 0 {
+		t.Fatal("empty corpus should be empty")
+	}
+	id0 := c.Append([]uint32{1, 2, 3})
+	id1 := c.Append([]uint32{4, 5})
+	if id0 != 0 || id1 != 1 {
+		t.Fatalf("ids = %d, %d; want 0, 1", id0, id1)
+	}
+	if c.NumTexts() != 2 || c.TotalTokens() != 5 {
+		t.Fatalf("NumTexts=%d TotalTokens=%d", c.NumTexts(), c.TotalTokens())
+	}
+	if !reflect.DeepEqual(c.Text(1), []uint32{4, 5}) {
+		t.Fatalf("Text(1) = %v", c.Text(1))
+	}
+	if !reflect.DeepEqual(c.Sequence(0, 1, 2), []uint32{2, 3}) {
+		t.Fatalf("Sequence = %v", c.Sequence(0, 1, 2))
+	}
+}
+
+func TestCorpusPanics(t *testing.T) {
+	c := New([][]uint32{{1, 2, 3}})
+	for _, fn := range []func(){
+		func() { c.Text(5) },
+		func() { c.Sequence(0, -1, 1) },
+		func() { c.Sequence(0, 2, 1) },
+		func() { c.Sequence(0, 0, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New([][]uint32{
+		{1, 2, 2, 3},
+		{3, 4},
+		{5, 5, 5, 5, 5, 5},
+	})
+	s := c.Stats()
+	if s.NumTexts != 3 || s.TotalTokens != 12 || s.DistinctTokens != 5 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.MinTextLen != 2 || s.MaxTextLen != 6 || s.MeanTextLen != 4 {
+		t.Fatalf("stats = %+v", s)
+	}
+	empty := New(nil).Stats()
+	if empty.NumTexts != 0 || empty.TotalTokens != 0 {
+		t.Fatalf("empty stats = %+v", empty)
+	}
+}
+
+func TestTokenFrequencies(t *testing.T) {
+	c := New([][]uint32{{1, 1, 2}, {2, 3}})
+	freq := c.TokenFrequencies()
+	want := map[uint32]int64{1: 2, 2: 2, 3: 1}
+	if !reflect.DeepEqual(freq, want) {
+		t.Fatalf("freq = %v, want %v", freq, want)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.tok")
+	c := New([][]uint32{
+		{1, 2, 3},
+		{},
+		{4294967295, 0, 7},
+		{9},
+	})
+	if err := WriteFile(c, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumTexts() != c.NumTexts() {
+		t.Fatalf("NumTexts = %d, want %d", got.NumTexts(), c.NumTexts())
+	}
+	for id := 0; id < c.NumTexts(); id++ {
+		a, b := c.Text(uint32(id)), got.Text(uint32(id))
+		if len(a) == 0 && len(b) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("text %d: %v vs %v", id, a, b)
+		}
+	}
+}
+
+func TestRandomAccessReader(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.tok")
+	rng := rand.New(rand.NewSource(5))
+	texts := make([][]uint32, 50)
+	for i := range texts {
+		n := rng.Intn(200)
+		texts[i] = make([]uint32, n)
+		for j := range texts[i] {
+			texts[i][j] = rng.Uint32()
+		}
+	}
+	if err := WriteFile(New(texts), path); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.NumTexts() != 50 {
+		t.Fatalf("NumTexts = %d", r.NumTexts())
+	}
+	// Random access in shuffled order.
+	for _, id := range rng.Perm(50) {
+		got, err := r.ReadText(uint32(id))
+		if err != nil {
+			t.Fatalf("ReadText(%d): %v", id, err)
+		}
+		if len(got) == 0 && len(texts[id]) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, texts[id]) {
+			t.Fatalf("text %d mismatch", id)
+		}
+	}
+	if _, err := r.ReadText(50); err == nil {
+		t.Fatal("out-of-range ReadText should fail")
+	}
+}
+
+func TestStreamBatches(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.tok")
+	texts := make([][]uint32, 30)
+	for i := range texts {
+		texts[i] = []uint32{uint32(i), uint32(i * 2), uint32(i * 3)}
+	}
+	if err := WriteFile(New(texts), path); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var gotIDs []uint32
+	var batches int
+	err = r.Stream(10, func(firstID uint32, batch [][]uint32) error {
+		batches++
+		for i, text := range batch {
+			id := firstID + uint32(i)
+			gotIDs = append(gotIDs, id)
+			if !reflect.DeepEqual(text, texts[id]) {
+				t.Fatalf("text %d mismatch in stream", id)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotIDs) != 30 {
+		t.Fatalf("streamed %d texts, want 30", len(gotIDs))
+	}
+	if batches < 2 {
+		t.Fatalf("expected multiple batches, got %d", batches)
+	}
+	for i, id := range gotIDs {
+		if id != uint32(i) {
+			t.Fatalf("ids out of order at %d: %d", i, id)
+		}
+	}
+}
+
+func TestOpenReaderRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.tok")
+	if err := os.WriteFile(path, []byte("this is not a corpus file at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenReader(path); err == nil {
+		t.Fatal("garbage file should not open")
+	}
+	// Truncated real file.
+	good := filepath.Join(dir, "good.tok")
+	if err := WriteFile(New([][]uint32{{1, 2, 3}}), good); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(dir, "trunc.tok")
+	if err := os.WriteFile(trunc, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenReader(trunc); err == nil {
+		t.Fatal("truncated file should not open")
+	}
+}
+
+func TestWriterLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(filepath.Join(dir, "w.tok"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add([]uint32{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close is idempotent; Add after Close fails.
+	if err := w.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if err := w.Add([]uint32{3}); err == nil {
+		t.Fatal("Add after Close should fail")
+	}
+	// Writing into a missing directory fails up front.
+	if _, err := NewWriter(filepath.Join(dir, "no", "such", "w.tok")); err == nil {
+		t.Fatal("NewWriter into missing dir should fail")
+	}
+}
+
+func TestReadTextMethodOnCorpus(t *testing.T) {
+	c := New([][]uint32{{1, 2, 3}})
+	got, err := c.ReadText(0)
+	if err != nil || len(got) != 3 {
+		t.Fatalf("ReadText: %v %v", got, err)
+	}
+	if _, err := c.ReadText(7); err == nil {
+		t.Fatal("out-of-range ReadText should fail")
+	}
+}
+
+func TestSynthesizeValidation(t *testing.T) {
+	bad := []SynthConfig{
+		{NumTexts: 0, MinLength: 1, MaxLength: 2, VocabSize: 10, ZipfS: 1.1},
+		{NumTexts: 1, MinLength: 0, MaxLength: 2, VocabSize: 10, ZipfS: 1.1},
+		{NumTexts: 1, MinLength: 5, MaxLength: 2, VocabSize: 10, ZipfS: 1.1},
+		{NumTexts: 1, MinLength: 1, MaxLength: 2, VocabSize: 1, ZipfS: 1.1},
+		{NumTexts: 1, MinLength: 1, MaxLength: 2, VocabSize: 10, ZipfS: 1.0},
+		{NumTexts: 1, MinLength: 1, MaxLength: 2, VocabSize: 10, ZipfS: 1.1, DupRate: 1.5},
+		{NumTexts: 1, MinLength: 1, MaxLength: 2, VocabSize: 10, ZipfS: 1.1, DupRate: 0.5, DupSnippetLen: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := Synthesize(cfg); err == nil {
+			t.Errorf("config %d should be rejected: %+v", i, cfg)
+		}
+	}
+}
+
+func TestSynthesizeShape(t *testing.T) {
+	cfg := SynthConfig{
+		NumTexts:  200,
+		MinLength: 50,
+		MaxLength: 150,
+		VocabSize: 1000,
+		ZipfS:     1.2,
+		Seed:      7,
+	}
+	c := MustSynthesize(cfg)
+	if c.NumTexts() != 200 {
+		t.Fatalf("NumTexts = %d", c.NumTexts())
+	}
+	s := c.Stats()
+	if s.MinTextLen < 50 || s.MaxTextLen > 150 {
+		t.Fatalf("length range violated: %+v", s)
+	}
+	for id := 0; id < c.NumTexts(); id++ {
+		for _, tok := range c.Text(uint32(id)) {
+			if tok >= 1000 {
+				t.Fatalf("token %d out of vocab", tok)
+			}
+		}
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	cfg := DefaultSynthConfig()
+	cfg.NumTexts = 50
+	a := MustSynthesize(cfg)
+	b := MustSynthesize(cfg)
+	for id := 0; id < a.NumTexts(); id++ {
+		if !reflect.DeepEqual(a.Text(uint32(id)), b.Text(uint32(id))) {
+			t.Fatalf("text %d differs between same-seed corpora", id)
+		}
+	}
+	cfg.Seed++
+	c := MustSynthesize(cfg)
+	same := true
+	for id := 0; id < a.NumTexts() && same; id++ {
+		if !reflect.DeepEqual(a.Text(uint32(id)), c.Text(uint32(id))) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestSynthesizeZipfSkew(t *testing.T) {
+	cfg := SynthConfig{
+		NumTexts:  300,
+		MinLength: 200,
+		MaxLength: 400,
+		VocabSize: 5000,
+		ZipfS:     1.2,
+		Seed:      11,
+	}
+	c := MustSynthesize(cfg)
+	freq := c.TokenFrequencies()
+	var maxFreq, total int64
+	for _, f := range freq {
+		if f > maxFreq {
+			maxFreq = f
+		}
+		total += f
+	}
+	// Zipf skew: the top token should hold a markedly larger share than
+	// the uniform 1/vocab baseline.
+	if float64(maxFreq)/float64(total) < 10.0/float64(cfg.VocabSize) {
+		t.Fatalf("token distribution looks uniform: max share %v", float64(maxFreq)/float64(total))
+	}
+}
+
+func TestSynthesizeDupInjection(t *testing.T) {
+	cfg := SynthConfig{
+		NumTexts:      400,
+		MinLength:     100,
+		MaxLength:     200,
+		VocabSize:     100000, // huge vocab => accidental repeats unlikely
+		ZipfS:         3,      // strongly skewed but wide
+		Seed:          13,
+		DupRate:       0.5,
+		DupSnippetLen: 32,
+		DupMutateProb: 0,
+	}
+	c := MustSynthesize(cfg)
+	// With DupRate 0.5 and no mutation, many 32-grams must appear in more
+	// than one text. Count cross-text repeated 32-gram prefixes cheaply by
+	// hashing 32-gram token sums at planted granularity: instead, check
+	// directly that at least one 32-token window of some text appears
+	// verbatim in another text.
+	type key [4]uint32
+	seen := make(map[key]uint32) // fingerprint -> first text id
+	found := false
+outer:
+	for id := 0; id < c.NumTexts(); id++ {
+		text := c.Text(uint32(id))
+		for i := 0; i+32 <= len(text); i++ {
+			var k key
+			k[0], k[1], k[2], k[3] = text[i], text[i+8], text[i+16], text[i+31]
+			if first, ok := seen[k]; ok && first != uint32(id) {
+				found = true
+				break outer
+			}
+			seen[k] = uint32(id)
+		}
+	}
+	if !found {
+		t.Fatal("duplicate injection produced no cross-text repeats")
+	}
+}
+
+func TestPlantQuery(t *testing.T) {
+	cfg := DefaultSynthConfig()
+	cfg.NumTexts = 20
+	cfg.MinLength = 100
+	cfg.MaxLength = 200
+	c := MustSynthesize(cfg)
+	rng := rand.New(rand.NewSource(3))
+	q, textID, start, ok := PlantQuery(c, 64, 0, cfg.VocabSize, rng)
+	if !ok {
+		t.Fatal("PlantQuery failed")
+	}
+	if len(q) != 64 {
+		t.Fatalf("query length %d", len(q))
+	}
+	src := c.Sequence(textID, start, start+63)
+	if !reflect.DeepEqual(q, src) {
+		t.Fatal("unmutated planted query should equal source")
+	}
+	// Too-long query on short corpus.
+	short := New([][]uint32{{1, 2, 3}})
+	if _, _, _, ok := PlantQuery(short, 10, 0, 10, rng); ok {
+		t.Fatal("PlantQuery should fail when no text is long enough")
+	}
+}
+
+func TestFileRoundTripProperty(t *testing.T) {
+	dir := t.TempDir()
+	i := 0
+	f := func(raw [][]uint32) bool {
+		i++
+		path := filepath.Join(dir, "p"+string(rune('a'+i%26))+".tok")
+		c := New(raw)
+		if err := WriteFile(c, path); err != nil {
+			return false
+		}
+		got, err := ReadFile(path)
+		if err != nil {
+			return false
+		}
+		if got.NumTexts() != c.NumTexts() {
+			return false
+		}
+		for id := 0; id < c.NumTexts(); id++ {
+			a, b := c.Text(uint32(id)), got.Text(uint32(id))
+			if len(a) != len(b) {
+				return false
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,152 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SynthConfig controls synthetic corpus generation.
+//
+// Token frequencies follow a Zipf distribution, matching the natural-
+// language skew the paper's prefix-filtering analysis relies on ("the
+// frequency of the most frequent token is twice that of the second most
+// frequent token, …"). A configurable fraction of texts embeds a mutated
+// copy of a snippet from an earlier text, planting genuine near-duplicate
+// sequences across texts.
+type SynthConfig struct {
+	NumTexts  int
+	MinLength int // minimum text length in tokens
+	MaxLength int // maximum text length in tokens (inclusive)
+	VocabSize int // token ids are drawn from [0, VocabSize)
+	ZipfS     float64
+	Seed      int64
+
+	// DupRate is the probability that a text embeds a near-duplicate of
+	// a snippet from a previously generated text.
+	DupRate float64
+	// DupSnippetLen is the length of the planted snippets.
+	DupSnippetLen int
+	// DupMutateProb is the per-token probability that a planted snippet
+	// token is replaced by a random token, turning exact duplicates into
+	// near-duplicates.
+	DupMutateProb float64
+}
+
+// DefaultSynthConfig returns a config producing a small web-like corpus.
+func DefaultSynthConfig() SynthConfig {
+	return SynthConfig{
+		NumTexts:      1000,
+		MinLength:     100,
+		MaxLength:     1000,
+		VocabSize:     32000,
+		ZipfS:         1.07,
+		Seed:          1,
+		DupRate:       0.1,
+		DupSnippetLen: 64,
+		DupMutateProb: 0.05,
+	}
+}
+
+func (cfg SynthConfig) validate() error {
+	switch {
+	case cfg.NumTexts <= 0:
+		return fmt.Errorf("corpus: NumTexts must be positive, got %d", cfg.NumTexts)
+	case cfg.MinLength <= 0 || cfg.MaxLength < cfg.MinLength:
+		return fmt.Errorf("corpus: bad length range [%d, %d]", cfg.MinLength, cfg.MaxLength)
+	case cfg.VocabSize <= 1:
+		return fmt.Errorf("corpus: VocabSize must exceed 1, got %d", cfg.VocabSize)
+	case cfg.ZipfS <= 1:
+		return fmt.Errorf("corpus: ZipfS must exceed 1 for rand.Zipf, got %v", cfg.ZipfS)
+	case cfg.DupRate < 0 || cfg.DupRate > 1:
+		return fmt.Errorf("corpus: DupRate must be in [0, 1], got %v", cfg.DupRate)
+	case cfg.DupRate > 0 && cfg.DupSnippetLen <= 0:
+		return fmt.Errorf("corpus: DupSnippetLen must be positive when DupRate > 0")
+	}
+	return nil
+}
+
+// Synthesize generates a corpus per cfg. Generation is deterministic in
+// cfg.Seed.
+func Synthesize(cfg SynthConfig) (*Corpus, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.VocabSize-1))
+	c := &Corpus{texts: make([][]uint32, 0, cfg.NumTexts)}
+
+	// Pool of source snippets for near-duplicate planting.
+	var pool [][]uint32
+	const maxPool = 256
+
+	for i := 0; i < cfg.NumTexts; i++ {
+		n := cfg.MinLength + rng.Intn(cfg.MaxLength-cfg.MinLength+1)
+		text := make([]uint32, n)
+		for j := range text {
+			text[j] = uint32(zipf.Uint64())
+		}
+		if cfg.DupRate > 0 && len(pool) > 0 && rng.Float64() < cfg.DupRate {
+			snip := pool[rng.Intn(len(pool))]
+			if len(snip) <= n {
+				at := rng.Intn(n - len(snip) + 1)
+				for j, tok := range snip {
+					if rng.Float64() < cfg.DupMutateProb {
+						tok = uint32(zipf.Uint64())
+					}
+					text[at+j] = tok
+				}
+			}
+		}
+		if cfg.DupRate > 0 && n >= cfg.DupSnippetLen {
+			at := rng.Intn(n - cfg.DupSnippetLen + 1)
+			snip := make([]uint32, cfg.DupSnippetLen)
+			copy(snip, text[at:at+cfg.DupSnippetLen])
+			if len(pool) < maxPool {
+				pool = append(pool, snip)
+			} else {
+				pool[rng.Intn(maxPool)] = snip
+			}
+		}
+		c.texts = append(c.texts, text)
+	}
+	return c, nil
+}
+
+// MustSynthesize is Synthesize but panics on config errors. For tests and
+// benchmarks with constant configs.
+func MustSynthesize(cfg SynthConfig) *Corpus {
+	c, err := Synthesize(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// PlantQuery derives a query sequence that is a near-duplicate of a known
+// region of the corpus: it copies length tokens starting at a random
+// position of a random (long-enough) text and mutates each token with
+// probability mutateProb. It returns the query and the source location.
+// Returns ok=false if no text is long enough.
+func PlantQuery(c *Corpus, length int, mutateProb float64, vocabSize int, rng *rand.Rand) (q []uint32, textID uint32, start int32, ok bool) {
+	if c.NumTexts() == 0 || length <= 0 {
+		return nil, 0, 0, false
+	}
+	// Try a bounded number of random texts before scanning.
+	for attempt := 0; attempt < 32; attempt++ {
+		id := uint32(rng.Intn(c.NumTexts()))
+		text := c.Text(id)
+		if len(text) < length {
+			continue
+		}
+		at := rng.Intn(len(text) - length + 1)
+		q = make([]uint32, length)
+		copy(q, text[at:at+length])
+		for i := range q {
+			if rng.Float64() < mutateProb {
+				q[i] = uint32(rng.Intn(vocabSize))
+			}
+		}
+		return q, id, int32(at), true
+	}
+	return nil, 0, 0, false
+}

@@ -1,0 +1,205 @@
+// Package dedup finds near-duplicate content *within* a corpus — the
+// training-data deduplication application that motivates the paper
+// (near-duplicates are pervasive in web corpora and drive LLM
+// memorization, yet exact-match dedup tooling cannot see them).
+//
+// ScanCorpus runs a windowed self-join: every text is cut into
+// fixed-width windows, each window is searched against the index, self
+// matches are discarded, and symmetric hits are canonicalized and
+// merged into per-text-pair duplicate regions.
+package dedup
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ndss/internal/corpus"
+	"ndss/internal/search"
+)
+
+// Options configures a corpus self-join.
+type Options struct {
+	// Theta is the Jaccard similarity threshold.
+	Theta float64
+	// Window is the query window width in tokens.
+	Window int
+	// Stride is the window step; it defaults to Window (non-overlapping
+	// windows, the paper's §5 slicing).
+	Stride int
+	// Search configures the underlying near-duplicate searches; Theta
+	// here overrides Search.Theta.
+	Search search.Options
+	// Parallelism is the query worker count (1 = sequential).
+	Parallelism int
+}
+
+// Pair is one deduplicated near-duplicate relation between regions of
+// two texts (or two disjoint regions of one text). TextA/StartA is the
+// lexicographically smaller side.
+type Pair struct {
+	TextA        uint32
+	StartA, EndA int32
+	TextB        uint32
+	StartB, EndB int32
+	// BestEstJaccard is the highest estimated similarity among the
+	// window hits merged into this pair.
+	BestEstJaccard float64
+}
+
+// Stats summarizes a scan.
+type Stats struct {
+	Texts     int
+	Windows   int
+	RawHits   int // window-level matches before merging
+	Pairs     int // merged output pairs
+	TextPairs int // distinct (textA, textB) combinations
+	Elapsed   time.Duration
+}
+
+// ScanCorpus self-joins the corpus behind the searcher. The index must
+// have been built over c.
+func ScanCorpus(s *search.Searcher, c *corpus.Corpus, opts Options) ([]Pair, *Stats, error) {
+	start := time.Now()
+	if opts.Window <= 0 {
+		return nil, nil, fmt.Errorf("dedup: Window must be positive, got %d", opts.Window)
+	}
+	if opts.Theta <= 0 || opts.Theta > 1 {
+		return nil, nil, fmt.Errorf("dedup: Theta must be in (0, 1], got %v", opts.Theta)
+	}
+	stride := opts.Stride
+	if stride <= 0 {
+		stride = opts.Window
+	}
+	sOpts := opts.Search
+	sOpts.Theta = opts.Theta
+
+	// Build the window list.
+	type qwin struct {
+		text  uint32
+		start int32
+	}
+	var wins []qwin
+	var queries [][]uint32
+	for id := 0; id < c.NumTexts(); id++ {
+		text := c.Text(uint32(id))
+		for off := 0; off+opts.Window <= len(text); off += stride {
+			wins = append(wins, qwin{text: uint32(id), start: int32(off)})
+			queries = append(queries, text[off:off+opts.Window])
+		}
+	}
+	st := &Stats{Texts: c.NumTexts(), Windows: len(wins)}
+
+	results := s.SearchBatch(queries, sOpts, opts.Parallelism)
+	var raw []Pair
+	for i, res := range results {
+		if res.Err != nil {
+			return nil, nil, fmt.Errorf("dedup: window %d: %w", i, res.Err)
+		}
+		w := wins[i]
+		qEnd := w.start + int32(opts.Window) - 1
+		for _, m := range res.Matches {
+			// Drop self hits: the window overlapping its own span.
+			if m.TextID == w.text && m.Start <= qEnd && w.start <= m.End {
+				continue
+			}
+			st.RawHits++
+			raw = append(raw, canonicalize(Pair{
+				TextA: w.text, StartA: w.start, EndA: qEnd,
+				TextB: m.TextID, StartB: m.Start, EndB: m.End,
+				BestEstJaccard: m.EstJaccard,
+			}))
+		}
+	}
+	pairs := mergePairs(raw)
+	st.Pairs = len(pairs)
+	seen := map[[2]uint32]bool{}
+	for _, p := range pairs {
+		seen[[2]uint32{p.TextA, p.TextB}] = true
+	}
+	st.TextPairs = len(seen)
+	st.Elapsed = time.Since(start)
+	return pairs, st, nil
+}
+
+// canonicalize orders the two sides so A <= B, making symmetric hits
+// comparable.
+func canonicalize(p Pair) Pair {
+	if p.TextB < p.TextA || (p.TextB == p.TextA && p.StartB < p.StartA) {
+		p.TextA, p.TextB = p.TextB, p.TextA
+		p.StartA, p.StartB = p.StartB, p.StartA
+		p.EndA, p.EndB = p.EndB, p.EndA
+	}
+	return p
+}
+
+// mergePairs coalesces pairs between the same two texts whose regions
+// overlap on both sides (e.g. the two directions of a symmetric hit, or
+// adjacent windows of one long duplicate passage).
+func mergePairs(raw []Pair) []Pair {
+	if len(raw) == 0 {
+		return nil
+	}
+	sort.Slice(raw, func(i, j int) bool {
+		a, b := raw[i], raw[j]
+		if a.TextA != b.TextA {
+			return a.TextA < b.TextA
+		}
+		if a.TextB != b.TextB {
+			return a.TextB < b.TextB
+		}
+		if a.StartA != b.StartA {
+			return a.StartA < b.StartA
+		}
+		return a.StartB < b.StartB
+	})
+	var out []Pair
+	for _, p := range raw {
+		merged := false
+		// Scan backwards over pairs of the same text pair; regions are
+		// sorted by StartA so overlap candidates are near the tail.
+		for i := len(out) - 1; i >= 0; i-- {
+			q := &out[i]
+			if q.TextA != p.TextA || q.TextB != p.TextB {
+				break
+			}
+			if p.StartA > q.EndA+1 {
+				break // no later pair can overlap side A either
+			}
+			if overlaps(p.StartA, p.EndA, q.StartA, q.EndA+1) && overlaps(p.StartB, p.EndB, q.StartB, q.EndB+1) {
+				q.EndA = max32(q.EndA, p.EndA)
+				q.EndB = max32(q.EndB, p.EndB)
+				q.StartB = min32(q.StartB, p.StartB)
+				if p.BestEstJaccard > q.BestEstJaccard {
+					q.BestEstJaccard = p.BestEstJaccard
+				}
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// overlaps reports whether [aLo, aHi] intersects [bLo, bHi] (the caller
+// passes bHi+1 to also merge adjacent regions).
+func overlaps(aLo, aHi, bLo, bHi int32) bool {
+	return aLo <= bHi && bLo <= aHi
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,160 @@
+package dedup
+
+import (
+	"math/rand"
+	"testing"
+
+	"ndss/internal/corpus"
+	"ndss/internal/index"
+	"ndss/internal/search"
+)
+
+// fixture builds a corpus with a known planted duplicate passage shared
+// by texts 2 and 7.
+func fixture(t *testing.T) (*corpus.Corpus, *search.Searcher) {
+	t.Helper()
+	c := corpus.MustSynthesize(corpus.SynthConfig{
+		NumTexts: 12, MinLength: 60, MaxLength: 120, VocabSize: 5000,
+		ZipfS: 1.5, Seed: 91,
+	})
+	// Plant a shared 32-token passage.
+	src := c.Text(2)
+	dst := c.Text(7)
+	copy(dst[10:42], src[5:37])
+	dir := t.TempDir()
+	if _, err := index.Build(c, dir, index.BuildOptions{K: 16, Seed: 3, T: 10}); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := index.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ix.Close() })
+	return c, search.New(ix, c)
+}
+
+func TestScanCorpusFindsPlantedPair(t *testing.T) {
+	c, s := fixture(t)
+	pairs, st, err := ScanCorpus(s, c, Options{Theta: 0.8, Window: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Texts != 12 || st.Windows == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	found := false
+	for _, p := range pairs {
+		if p.TextA == 2 && p.TextB == 7 {
+			found = true
+			if p.BestEstJaccard < 0.8 {
+				t.Fatalf("pair similarity %v", p.BestEstJaccard)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("planted duplicate (2, 7) not found: %+v", pairs)
+	}
+}
+
+func TestScanCorpusSelfHitsExcluded(t *testing.T) {
+	c, s := fixture(t)
+	pairs, _, err := ScanCorpus(s, c, Options{Theta: 0.9, Window: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs {
+		if p.TextA == p.TextB && p.StartA <= p.EndB && p.StartB <= p.EndA {
+			t.Fatalf("self-overlapping pair survived: %+v", p)
+		}
+	}
+}
+
+func TestScanCorpusCanonicalAndMerged(t *testing.T) {
+	c, s := fixture(t)
+	pairs, st, err := ScanCorpus(s, c, Options{Theta: 0.8, Window: 16, Stride: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[Pair]bool{}
+	for _, p := range pairs {
+		if p.TextB < p.TextA {
+			t.Fatalf("pair not canonical: %+v", p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate pair: %+v", p)
+		}
+		seen[p] = true
+	}
+	// Overlapping windows generate many raw hits that must merge down.
+	if st.RawHits > 0 && st.Pairs > st.RawHits {
+		t.Fatalf("merge grew pairs: %+v", st)
+	}
+}
+
+func TestScanCorpusParallelMatchesSequential(t *testing.T) {
+	c, s := fixture(t)
+	seq, _, err := ScanCorpus(s, c, Options{Theta: 0.8, Window: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _, err := ScanCorpus(s, c, Options{Theta: 0.8, Window: 16, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("parallel scan differs: %d vs %d pairs", len(seq), len(par))
+	}
+	want := map[Pair]bool{}
+	for _, p := range seq {
+		want[p] = true
+	}
+	for _, p := range par {
+		if !want[p] {
+			t.Fatalf("parallel-only pair: %+v", p)
+		}
+	}
+}
+
+func TestScanCorpusValidation(t *testing.T) {
+	c, s := fixture(t)
+	if _, _, err := ScanCorpus(s, c, Options{Theta: 0.8}); err == nil {
+		t.Fatal("missing Window should fail")
+	}
+	if _, _, err := ScanCorpus(s, c, Options{Theta: 0, Window: 16}); err == nil {
+		t.Fatal("Theta=0 should fail")
+	}
+	if _, _, err := ScanCorpus(s, c, Options{Theta: 1.5, Window: 16}); err == nil {
+		t.Fatal("Theta>1 should fail")
+	}
+}
+
+func TestScanCleanCorpusFindsNothing(t *testing.T) {
+	// Uniform random tokens over a huge vocabulary: no near-duplicates
+	// exist.
+	rng := rand.New(rand.NewSource(97))
+	texts := make([][]uint32, 8)
+	for i := range texts {
+		texts[i] = make([]uint32, 80)
+		for j := range texts[i] {
+			texts[i][j] = rng.Uint32() % 1000000
+		}
+	}
+	c := corpus.New(texts)
+	dir := t.TempDir()
+	if _, err := index.Build(c, dir, index.BuildOptions{K: 16, Seed: 3, T: 10}); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := index.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	s := search.New(ix, c)
+	pairs, _, err := ScanCorpus(s, c, Options{Theta: 0.9, Window: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 0 {
+		t.Fatalf("clean corpus produced pairs: %+v", pairs)
+	}
+}

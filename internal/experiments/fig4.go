@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ndss/internal/index"
+	"ndss/internal/lm"
+	"ndss/internal/memorize"
+	"ndss/internal/search"
+)
+
+// Figure 4 and Table 1 — language model memorization (paper §5): the
+// fraction of model-generated query sequences that have near-duplicates
+// in the training corpus, across model capacities, similarity thresholds
+// and sliding-window widths.
+//
+// The four model capacities stand in for the paper's GPT-2 small/medium
+// and GPT-Neo 1.3B/2.7B checkpoints (see DESIGN.md).
+
+func init() {
+	register("fig4ac", "Fig 4(a,c): memorized fraction vs theta for four model capacities (x=32, t=25, k=32)", fig4ac)
+	register("fig4bd", "Fig 4(b,d): memorized fraction vs sliding-window width x (theta=0.8)", fig4bd)
+	register("table1", "Table 1: example generated sequences and their near-duplicates", table1)
+}
+
+// lmVariants mirrors the paper's four model sizes with growing n-gram
+// capacity.
+var lmVariants = []struct {
+	name        string
+	order       int
+	maxContexts int
+}{
+	{"gpt2-small~(117M)", 3, 30000},
+	{"gpt2-medium~(345M)", 3, 0},
+	{"gptneo~(1.3B)", 4, 0},
+	{"gptneo~(2.7B)", 5, 0},
+}
+
+func fig4Fixture(e *Env) (*search.Searcher, []*lm.Model, error) {
+	c := e.synWeb(1, 32000, 1)
+	ix, _, err := e.buildIndex("f3ab-k32", c, index.BuildOptions{K: 32, Seed: 3, T: 25})
+	if err != nil {
+		return nil, nil, err
+	}
+	s := search.New(ix, c)
+	models := make([]*lm.Model, len(lmVariants))
+	for i, v := range lmVariants {
+		m, err := lm.Train(c, lm.Config{Order: v.order, MaxContexts: v.maxContexts})
+		if err != nil {
+			return nil, nil, err
+		}
+		models[i] = m
+	}
+	return s, models, nil
+}
+
+func fig4ac(e *Env) error {
+	e.printf("## Fig 4(a,c): %% of generated sequences with near-duplicates in the training corpus\n")
+	e.printf("x=32, t=25, k=32, top-50 sampling, unprompted\n\n")
+	s, models, err := fig4Fixture(e)
+	if err != nil {
+		return err
+	}
+	w := e.table()
+	fmt.Fprintln(w, "model\tcontexts\ttheta=1.0\ttheta=0.9\ttheta=0.8")
+	for i, v := range lmVariants {
+		queries, err := memorize.GenerateQueries(models[i], memorize.GenConfig{
+			NumTexts:    8 * e.Scale,
+			TextLength:  512,
+			QueryLength: 32,
+			Sampler:     lm.TopK{K: 50},
+			Seed:        21,
+		})
+		if err != nil {
+			return err
+		}
+		row := fmt.Sprintf("%s\t%d", v.name, models[i].NumContexts())
+		for _, theta := range []float64{1.0, 0.9, 0.8} {
+			res, err := memorize.Evaluate(s, queries, memorize.EvalConfig{
+				Options: search.Options{Theta: theta, PrefixFilter: true},
+			})
+			if err != nil {
+				return err
+			}
+			row += fmt.Sprintf("\t%.1f%%", res.Ratio*100)
+		}
+		fmt.Fprintln(w, row)
+	}
+	return w.Flush()
+}
+
+func fig4bd(e *Env) error {
+	e.printf("## Fig 4(b,d): %% memorized vs sliding-window width x (theta=0.8, t=25, k=32)\n\n")
+	s, models, err := fig4Fixture(e)
+	if err != nil {
+		return err
+	}
+	w := e.table()
+	fmt.Fprintln(w, "model\tx=32\tx=64\tx=128")
+	for i, v := range lmVariants {
+		row := v.name
+		for _, x := range []int{32, 64, 128} {
+			queries, err := memorize.GenerateQueries(models[i], memorize.GenConfig{
+				NumTexts:    8 * e.Scale,
+				TextLength:  512,
+				QueryLength: x,
+				Sampler:     lm.TopK{K: 50},
+				Seed:        22,
+			})
+			if err != nil {
+				return err
+			}
+			res, err := memorize.Evaluate(s, queries, memorize.EvalConfig{
+				Options: search.Options{Theta: 0.8, PrefixFilter: true},
+			})
+			if err != nil {
+				return err
+			}
+			row += fmt.Sprintf("\t%.1f%%", res.Ratio*100)
+		}
+		fmt.Fprintln(w, row)
+	}
+	return w.Flush()
+}
+
+func table1(e *Env) error {
+	e.printf("## Table 1: generated sequences and near-duplicates found in the corpus\n")
+	e.printf("(token-id snippets; the corpus is synthetic so no natural text exists)\n\n")
+	s, models, err := fig4Fixture(e)
+	if err != nil {
+		return err
+	}
+	c := e.synWeb(1, 32000, 1)
+	queries, err := memorize.GenerateQueries(models[len(models)-1], memorize.GenConfig{
+		NumTexts:    8 * e.Scale,
+		TextLength:  512,
+		QueryLength: 32,
+		Sampler:     lm.TopK{K: 50},
+		Seed:        23,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := memorize.Evaluate(s, queries, memorize.EvalConfig{
+		Options:     search.Options{Theta: 0.8, PrefixFilter: true, Verify: true},
+		MaxExamples: 3,
+	})
+	if err != nil {
+		return err
+	}
+	if len(res.Examples) == 0 {
+		e.printf("no memorized sequences found at this scale\n")
+		return nil
+	}
+	for i, ex := range res.Examples {
+		m := ex.Match
+		text := c.Text(m.TextID)
+		end := m.End
+		if end > m.Start+31 {
+			end = m.Start + 31
+		}
+		e.printf("example %d:\n", i+1)
+		e.printf("  generated : %v\n", ex.Query[:min(16, len(ex.Query))])
+		e.printf("  corpus    : %v (text %d, span [%d, %d])\n",
+			text[m.Start : end+1][:min(16, int(end-m.Start+1))], m.TextID, m.Start, m.End)
+		e.printf("  est. Jaccard %.3f, exact span Jaccard %.3f\n\n", m.EstJaccard, m.Jaccard)
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"ndss/internal/index"
+)
+
+// The paper's prefix-filtering design (§3.5) rests on the claim that
+// inverted-list lengths follow Zipf's law — a few lists hold most
+// postings. This extra experiment measures the actual list-length
+// distribution of a built index.
+
+func init() {
+	register("zipf", "Extra: inverted-list length distribution (the Zipf skew prefix filtering exploits)", zipfExperiment)
+}
+
+func zipfExperiment(e *Env) error {
+	e.printf("## Inverted-list length distribution (k=1, t=25)\n")
+	e.printf("the head's share motivates deferring long lists at query time\n\n")
+	c := e.synWeb(2, 2000, 1) // small vocab: pronounced head
+	ix, _, err := e.buildIndex("zipf", c, index.BuildOptions{K: 1, Seed: 3, T: 25})
+	if err != nil {
+		return err
+	}
+	lengths := ix.ListLengths(0)
+	sort.Sort(sort.Reverse(sort.IntSlice(lengths)))
+	var total int64
+	for _, n := range lengths {
+		total += int64(n)
+	}
+	w := e.table()
+	fmt.Fprintln(w, "head fraction of lists\tshare of postings\tcutoff length")
+	for _, frac := range []float64{0.01, 0.05, 0.10, 0.20, 0.50} {
+		head := int(float64(len(lengths)) * frac)
+		if head < 1 {
+			head = 1
+		}
+		var headSum int64
+		for _, n := range lengths[:head] {
+			headSum += int64(n)
+		}
+		fmt.Fprintf(w, "%.0f%%\t%.1f%%\t%d\n", frac*100, 100*float64(headSum)/float64(total), lengths[head-1])
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	e.printf("\nlists: %d, postings: %d, longest list: %d, median: %d\n",
+		len(lengths), total, lengths[0], lengths[len(lengths)/2])
+	// Zipf check: the top list should hold a multiple of the median's
+	// share.
+	ratio := float64(lengths[0]) / float64(lengths[len(lengths)/2]+1)
+	e.printf("head/median ratio: %.1f (Zipf-skewed when >> 1)\n", ratio)
+	return nil
+}

@@ -1,0 +1,87 @@
+package index
+
+import (
+	"os"
+	"testing"
+
+	"ndss/internal/corpus"
+)
+
+// TestAppendEqualsRebuild: appending texts must produce an index
+// identical to rebuilding over the concatenated corpus.
+func TestAppendEqualsRebuild(t *testing.T) {
+	base := testCorpus(t, 30, 30, 90, 300, 91)
+	extra := testCorpus(t, 15, 30, 90, 300, 92)
+	opts := BuildOptions{K: 3, Seed: 17, T: 10}
+
+	dir := t.TempDir() + "/idx"
+	if _, err := Build(base, ensureDir(t, dir), opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := Append(dir, extra); err != nil {
+		t.Fatal(err)
+	}
+	appended, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer appended.Close()
+
+	combined := corpus.New(nil)
+	for id := 0; id < base.NumTexts(); id++ {
+		combined.Append(base.Text(uint32(id)))
+	}
+	for id := 0; id < extra.NumTexts(); id++ {
+		combined.Append(extra.Text(uint32(id)))
+	}
+	rebuilt, _ := buildIndex(t, combined, opts)
+	assertIndexesEqual(t, rebuilt, appended)
+	if appended.Meta().NumTexts != combined.NumTexts() {
+		t.Fatalf("NumTexts = %d, want %d", appended.Meta().NumTexts, combined.NumTexts())
+	}
+	if appended.Meta().TotalTokens != combined.TotalTokens() {
+		t.Fatalf("TotalTokens = %d, want %d", appended.Meta().TotalTokens, combined.TotalTokens())
+	}
+	if err := appended.VerifyIntegrity(); err != nil {
+		t.Fatalf("appended index corrupt: %v", err)
+	}
+}
+
+func TestAppendTwice(t *testing.T) {
+	a := testCorpus(t, 10, 30, 60, 200, 93)
+	b := testCorpus(t, 10, 30, 60, 200, 94)
+	c := testCorpus(t, 10, 30, 60, 200, 95)
+	opts := BuildOptions{K: 2, Seed: 19, T: 10}
+	dir := t.TempDir() + "/idx"
+	if _, err := Build(a, ensureDir(t, dir), opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := Append(dir, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := Append(dir, c); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if ix.Meta().NumTexts != 30 {
+		t.Fatalf("NumTexts = %d, want 30", ix.Meta().NumTexts)
+	}
+}
+
+func TestAppendMissingIndex(t *testing.T) {
+	if err := Append(t.TempDir()+"/nope", corpus.New(nil)); err == nil {
+		t.Fatal("append to missing index should fail")
+	}
+}
+
+func ensureDir(t *testing.T, dir string) string {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}

@@ -1,0 +1,95 @@
+package index
+
+import (
+	"testing"
+
+	"ndss/internal/corpus"
+)
+
+func benchBuildCorpus(b *testing.B) *corpus.Corpus {
+	b.Helper()
+	return corpus.MustSynthesize(corpus.SynthConfig{
+		NumTexts: 300, MinLength: 100, MaxLength: 500,
+		VocabSize: 32000, ZipfS: 1.07, Seed: 1,
+	})
+}
+
+func BenchmarkBuildDisk(b *testing.B) {
+	c := benchBuildCorpus(b)
+	b.SetBytes(c.TotalTokens() * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dir := b.TempDir()
+		if _, err := Build(c, dir, BuildOptions{K: 4, Seed: 3, T: 50}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildMemIndex(b *testing.B) {
+	c := benchBuildCorpus(b)
+	b.SetBytes(c.TotalTokens() * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildMem(c, BuildOptions{K: 4, Seed: 3, T: 50}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOpen(b *testing.B) {
+	c := benchBuildCorpus(b)
+	dir := b.TempDir()
+	if _, err := Build(c, dir, BuildOptions{K: 4, Seed: 3, T: 50}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix, err := Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ix.Close()
+	}
+}
+
+func BenchmarkReadList(b *testing.B) {
+	c := benchBuildCorpus(b)
+	dir := b.TempDir()
+	if _, err := Build(c, dir, BuildOptions{K: 1, Seed: 3, T: 50}); err != nil {
+		b.Fatal(err)
+	}
+	ix, err := Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ix.Close()
+	hashes := ix.Hashes(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.ReadList(0, hashes[i%len(hashes)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyIntegrity(b *testing.B) {
+	c := benchBuildCorpus(b)
+	dir := b.TempDir()
+	stats, err := Build(c, dir, BuildOptions{K: 4, Seed: 3, T: 50})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ix.Close()
+	b.SetBytes(stats.BytesWritten)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ix.VerifyIntegrity(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

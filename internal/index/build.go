@@ -1,0 +1,224 @@
+package index
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"ndss/internal/corpus"
+	"ndss/internal/hash"
+	"ndss/internal/window"
+)
+
+// BuildOptions configures index construction.
+type BuildOptions struct {
+	// K is the number of hash functions (Definition 2's k). Required.
+	K int
+	// Seed derives the hash family.
+	Seed int64
+	// T is the length threshold: only sequences of at least T tokens are
+	// indexed. Required.
+	T int
+	// ZoneMapStep is the number of postings per zone entry in long
+	// lists. Defaults to 1024.
+	ZoneMapStep int
+	// LongListCutoff is the posting count above which a list receives a
+	// zone map. Defaults to 4096.
+	LongListCutoff int
+	// Parallelism bounds the number of window-generation goroutines in
+	// Build. Defaults to GOMAXPROCS.
+	Parallelism int
+	// MemoryBudget bounds the bytes of spill records aggregated in
+	// memory at once during BuildExternal. Defaults to 256 MiB.
+	MemoryBudget int64
+	// BatchTokens is the streaming batch size in tokens for
+	// BuildExternal. Defaults to 4M tokens.
+	BatchTokens int
+}
+
+func (o *BuildOptions) setDefaults() error {
+	if o.K <= 0 {
+		return fmt.Errorf("index: K must be positive, got %d", o.K)
+	}
+	if o.T <= 0 {
+		return fmt.Errorf("index: T must be positive, got %d", o.T)
+	}
+	if o.ZoneMapStep == 0 {
+		o.ZoneMapStep = 1024
+	}
+	if o.ZoneMapStep < 1 {
+		return fmt.Errorf("index: ZoneMapStep must be positive, got %d", o.ZoneMapStep)
+	}
+	if o.LongListCutoff == 0 {
+		o.LongListCutoff = 4096
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.MemoryBudget <= 0 {
+		o.MemoryBudget = 256 << 20
+	}
+	if o.BatchTokens <= 0 {
+		o.BatchTokens = 4 << 20
+	}
+	return nil
+}
+
+// BuildStats reports what a build did. GenTime covers hashing, window
+// generation and record sorting (the CPU side); IOTime covers spill and
+// index file writes (the lower/upper bar split of Fig 2(i–l)).
+type BuildStats struct {
+	Windows        int64
+	WindowsPerFunc []int64
+	BytesWritten   int64
+	GenTime        time.Duration
+	IOTime         time.Duration
+}
+
+// Build constructs the k inverted files for an in-memory corpus
+// (Algorithm 1's main path) into dir. dir must exist and be writable;
+// existing index files in it are overwritten.
+func Build(c *corpus.Corpus, dir string, opts BuildOptions) (*BuildStats, error) {
+	if err := opts.setDefaults(); err != nil {
+		return nil, err
+	}
+	fam, err := hash.NewFamily(opts.K, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	stats := &BuildStats{WindowsPerFunc: make([]int64, opts.K)}
+	for fn := 0; fn < opts.K; fn++ {
+		recs, genDur := generateRecords(c, fam.Func(fn), opts.T, opts.Parallelism)
+		sortStart := time.Now()
+		sortRecords(recs)
+		genDur += time.Since(sortStart)
+		stats.GenTime += genDur
+		stats.WindowsPerFunc[fn] = int64(len(recs))
+		stats.Windows += int64(len(recs))
+
+		ioStart := time.Now()
+		n, err := writeLists(dir, fn, recs, opts)
+		if err != nil {
+			return nil, err
+		}
+		stats.IOTime += time.Since(ioStart)
+		stats.BytesWritten += n
+	}
+	if err := writeMeta(dir, Meta{
+		K:              opts.K,
+		Seed:           opts.Seed,
+		T:              opts.T,
+		NumTexts:       c.NumTexts(),
+		TotalTokens:    c.TotalTokens(),
+		ZoneMapStep:    opts.ZoneMapStep,
+		LongListCutoff: opts.LongListCutoff,
+	}); err != nil {
+		return nil, err
+	}
+	return stats, nil
+}
+
+// generateRecords produces the (hash, posting) records of one hash
+// function over the whole corpus, fanning text chunks out to workers.
+func generateRecords(c *corpus.Corpus, f hash.Func, t, parallelism int) ([]record, time.Duration) {
+	start := time.Now()
+	n := c.NumTexts()
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism <= 1 {
+		recs := appendTextRecords(nil, c, 0, n, f, t)
+		return recs, time.Since(start)
+	}
+	chunk := (n + parallelism - 1) / parallelism
+	parts := make([][]record, parallelism)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			parts[w] = appendTextRecords(nil, c, lo, hi, f, t)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	recs := make([]record, 0, total)
+	for _, p := range parts {
+		recs = append(recs, p...)
+	}
+	return recs, time.Since(start)
+}
+
+// appendTextRecords generates windows for texts [lo, hi) and appends
+// their records to dst.
+func appendTextRecords(dst []record, c *corpus.Corpus, lo, hi int, f hash.Func, t int) []record {
+	var vals []uint64
+	var ws []window.Window
+	for id := lo; id < hi; id++ {
+		tokens := c.Text(uint32(id))
+		if len(tokens) < t {
+			continue
+		}
+		vals = window.Hashes(tokens, f, vals)
+		ws = window.GenerateLinear(vals, t, ws[:0])
+		for _, w := range ws {
+			dst = append(dst, record{
+				Hash: vals[w.C],
+				Posting: Posting{
+					TextID: uint32(id),
+					L:      uint32(w.L),
+					C:      uint32(w.C),
+					R:      uint32(w.R),
+				},
+			})
+		}
+	}
+	return dst
+}
+
+// writeLists writes sorted records as one inverted file and returns its
+// size in bytes.
+func writeLists(dir string, fn int, recs []record, opts BuildOptions) (int64, error) {
+	w, err := newFileWriter(indexPath(dir, fn), fn, opts.ZoneMapStep, opts.LongListCutoff)
+	if err != nil {
+		return 0, err
+	}
+	if err := addSortedRuns(w, recs); err != nil {
+		w.abort()
+		return 0, err
+	}
+	return w.finish()
+}
+
+// addSortedRuns feeds runs of equal-hash records from a sorted slice to
+// the writer.
+func addSortedRuns(w *fileWriter, recs []record) error {
+	for i := 0; i < len(recs); {
+		j := i + 1
+		for j < len(recs) && recs[j].Hash == recs[i].Hash {
+			j++
+		}
+		if err := w.addList(recs[i].Hash, recs[i:j]); err != nil {
+			return err
+		}
+		i = j
+	}
+	return nil
+}
+
+func indexPath(dir string, fn int) string {
+	return dir + string(os.PathSeparator) + funcFileName(fn)
+}

@@ -1,0 +1,109 @@
+package index
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Corruption-injection tests for the on-disk format's integrity
+// checking.
+
+// buildOnDisk builds a small index and returns its directory plus the
+// path of function 0's inverted file.
+func buildOnDisk(t *testing.T) (string, string) {
+	t.Helper()
+	c := testCorpus(t, 30, 40, 100, 200, 61)
+	dir := t.TempDir()
+	if _, err := Build(c, dir, BuildOptions{K: 2, Seed: 5, T: 10}); err != nil {
+		t.Fatal(err)
+	}
+	return dir, filepath.Join(dir, funcFileName(0))
+}
+
+// flipByteAt flips one byte of a file in place.
+func flipByteAt(t *testing.T, path string, off int64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xFF
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCleanIndexPassesIntegrity(t *testing.T) {
+	dir, _ := buildOnDisk(t)
+	ix, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if err := ix.VerifyIntegrity(); err != nil {
+		t.Fatalf("clean index failed integrity: %v", err)
+	}
+}
+
+func TestCorruptDirectoryRejectedAtOpen(t *testing.T) {
+	dir, file := buildOnDisk(t)
+	st, err := os.Stat(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the middle of the directory (just before the
+	// trailer).
+	flipByteAt(t, file, st.Size()-trailerLen-dirEntrySize/2)
+	if _, err := Open(dir); err == nil {
+		t.Fatal("corrupt directory should fail to open")
+	}
+}
+
+func TestCorruptPostingsCaughtByVerify(t *testing.T) {
+	dir, file := buildOnDisk(t)
+	// Flip a byte early in the postings region: Open still succeeds
+	// (only the directory is validated eagerly) but VerifyIntegrity
+	// must catch it.
+	flipByteAt(t, file, idxHeaderLen+8)
+	ix, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open after postings corruption should succeed (lazy check): %v", err)
+	}
+	defer ix.Close()
+	if err := ix.VerifyIntegrity(); err == nil {
+		t.Fatal("VerifyIntegrity missed postings corruption")
+	}
+}
+
+func TestCorruptTrailerRejected(t *testing.T) {
+	dir, file := buildOnDisk(t)
+	st, err := os.Stat(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the directory offset in the trailer.
+	flipByteAt(t, file, st.Size()-trailerLen+2)
+	if _, err := Open(dir); err == nil {
+		t.Fatal("corrupt trailer should fail to open")
+	}
+}
+
+func TestTruncatedFileRejected(t *testing.T) {
+	dir, file := buildOnDisk(t)
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(file, data[:len(data)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("truncated file should fail to open")
+	}
+}

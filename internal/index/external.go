@@ -1,0 +1,295 @@
+package index
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ndss/internal/corpus"
+	"ndss/internal/hash"
+	"ndss/internal/window"
+)
+
+// BuildExternal constructs the index for a corpus file that may not fit
+// in memory, using hash aggregation with recursive partitioning (§3.4's
+// large-corpus path): texts are streamed in batches, each batch's
+// compact-window records are partitioned by min-hash value and spilled
+// to disk, and each partition is then loaded, sorted and appended to the
+// inverted file. A partition that still exceeds the memory budget is
+// recursively re-partitioned on higher hash bits.
+func BuildExternal(r *corpus.Reader, dir string, opts BuildOptions) (*BuildStats, error) {
+	if err := opts.setDefaults(); err != nil {
+		return nil, err
+	}
+	fam, err := hash.NewFamily(opts.K, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	stats := &BuildStats{WindowsPerFunc: make([]int64, opts.K)}
+
+	// Estimate partition fan-out so one partition fits the budget:
+	// expected records ~= 2 * totalTokens / T, 24 bytes each.
+	expBytes := 2 * r.TotalTokens() / int64(opts.T) * recordSize
+	fanout := int(expBytes/opts.MemoryBudget) + 1
+	if fanout > 512 {
+		fanout = 512
+	}
+
+	for fn := 0; fn < opts.K; fn++ {
+		if err := buildExternalFunc(r, dir, fn, fam.Func(fn), fanout, opts, stats); err != nil {
+			return nil, err
+		}
+	}
+	if err := writeMeta(dir, Meta{
+		K:              opts.K,
+		Seed:           opts.Seed,
+		T:              opts.T,
+		NumTexts:       r.NumTexts(),
+		TotalTokens:    r.TotalTokens(),
+		ZoneMapStep:    opts.ZoneMapStep,
+		LongListCutoff: opts.LongListCutoff,
+	}); err != nil {
+		return nil, err
+	}
+	return stats, nil
+}
+
+// spillSet is a group of open partition spill files at one recursion
+// level.
+type spillSet struct {
+	dir   string
+	level int
+	files []*os.File
+	bufs  []*bufio.Writer
+	sizes []int64
+}
+
+func newSpillSet(dir string, level, fanout int) (*spillSet, error) {
+	s := &spillSet{
+		dir:   dir,
+		level: level,
+		files: make([]*os.File, fanout),
+		bufs:  make([]*bufio.Writer, fanout),
+		sizes: make([]int64, fanout),
+	}
+	for p := 0; p < fanout; p++ {
+		f, err := os.CreateTemp(dir, fmt.Sprintf("spill-l%d-p%d-*", level, p))
+		if err != nil {
+			s.cleanup()
+			return nil, fmt.Errorf("index: create spill: %w", err)
+		}
+		s.files[p] = f
+		s.bufs[p] = bufio.NewWriterSize(f, 1<<18)
+	}
+	return s, nil
+}
+
+// partitionOf selects a partition for hash h at the given level. Level 0
+// uses the low bits; deeper levels shift to fresh bits so a partition
+// actually splits on recursion.
+func partitionOf(h uint64, level, fanout int) int {
+	return int((h >> (9 * uint(level))) % uint64(fanout))
+}
+
+func (s *spillSet) add(rec record, fanout int) error {
+	p := partitionOf(rec.Hash, s.level, fanout)
+	var buf [recordSize]byte
+	encodeRecord(buf[:], rec)
+	if _, err := s.bufs[p].Write(buf[:]); err != nil {
+		return err
+	}
+	s.sizes[p] += recordSize
+	return nil
+}
+
+func (s *spillSet) flush() error {
+	for _, b := range s.bufs {
+		if b == nil {
+			continue
+		}
+		if err := b.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *spillSet) cleanup() {
+	for _, f := range s.files {
+		if f != nil {
+			name := f.Name()
+			f.Close()
+			os.Remove(name)
+		}
+	}
+}
+
+func buildExternalFunc(r *corpus.Reader, dir string, fn int, f hash.Func, fanout int, opts BuildOptions, stats *BuildStats) error {
+	spill, err := newSpillSet(dir, 0, fanout)
+	if err != nil {
+		return err
+	}
+	defer spill.cleanup()
+
+	// Pass 1: stream texts, generate windows, spill records partitioned
+	// by min-hash.
+	var vals []uint64
+	var ws []window.Window
+	streamErr := r.Stream(opts.BatchTokens, func(firstID uint32, texts [][]uint32) error {
+		genStart := time.Now()
+		for i, tokens := range texts {
+			if len(tokens) < opts.T {
+				continue
+			}
+			vals = window.Hashes(tokens, f, vals)
+			ws = window.GenerateLinear(vals, opts.T, ws[:0])
+			id := firstID + uint32(i)
+			genDone := time.Now()
+			stats.GenTime += genDone.Sub(genStart)
+			for _, w := range ws {
+				rec := record{
+					Hash: vals[w.C],
+					Posting: Posting{
+						TextID: id,
+						L:      uint32(w.L),
+						C:      uint32(w.C),
+						R:      uint32(w.R),
+					},
+				}
+				if err := spill.add(rec, fanout); err != nil {
+					return err
+				}
+				stats.WindowsPerFunc[fn]++
+				stats.Windows++
+			}
+			genStart = time.Now()
+			stats.IOTime += genStart.Sub(genDone) // spill writes are I/O
+		}
+		stats.GenTime += time.Since(genStart)
+		return nil
+	})
+	if streamErr != nil {
+		return streamErr
+	}
+	ioStart := time.Now()
+	if err := spill.flush(); err != nil {
+		return err
+	}
+
+	// Pass 2: aggregate each partition into the inverted file.
+	w, err := newFileWriter(indexPath(dir, fn), fn, opts.ZoneMapStep, opts.LongListCutoff)
+	if err != nil {
+		return err
+	}
+	for p, f := range spill.files {
+		if err := aggregatePartition(f, spill.sizes[p], 1, dir, opts, w); err != nil {
+			w.abort()
+			return err
+		}
+	}
+	n, err := w.finish()
+	if err != nil {
+		return err
+	}
+	stats.IOTime += time.Since(ioStart)
+	stats.BytesWritten += n
+	return nil
+}
+
+// maxRecursionDepth bounds recursive re-partitioning. A partition made of
+// a single over-budget hash value can never split; after this depth it is
+// aggregated in memory regardless of the budget.
+const maxRecursionDepth = 6
+
+// aggregatePartition loads one spill file, sorts its records and appends
+// complete inverted lists to w. Over-budget partitions are re-partitioned
+// on higher hash bits first (recursive partitioning).
+func aggregatePartition(f *os.File, size int64, level int, dir string, opts BuildOptions, w *fileWriter) error {
+	if size == 0 {
+		return nil
+	}
+	if size > opts.MemoryBudget && level <= maxRecursionDepth {
+		return repartition(f, size, level, dir, opts, w)
+	}
+	recs, err := readAllRecords(f, size)
+	if err != nil {
+		return err
+	}
+	sortRecords(recs)
+	return addSortedRuns(w, recs)
+}
+
+// repartition splits an over-budget spill file into sub-partitions on a
+// fresh range of hash bits and aggregates each.
+func repartition(f *os.File, size int64, level int, dir string, opts BuildOptions, w *fileWriter) error {
+	fanout := int(size/opts.MemoryBudget) + 1
+	if fanout < 2 {
+		fanout = 2
+	}
+	if fanout > 512 {
+		fanout = 512
+	}
+	sub, err := newSpillSet(dir, level, fanout)
+	if err != nil {
+		return err
+	}
+	defer sub.cleanup()
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	br := bufio.NewReaderSize(f, 1<<18)
+	var buf [recordSize]byte
+	for read := int64(0); read < size; read += recordSize {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return fmt.Errorf("index: read spill: %w", err)
+		}
+		if err := sub.add(decodeRecord(buf[:]), fanout); err != nil {
+			return err
+		}
+	}
+	if err := sub.flush(); err != nil {
+		return err
+	}
+	for p, sf := range sub.files {
+		if err := aggregatePartition(sf, sub.sizes[p], level+1, dir, opts, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readAllRecords(f *os.File, size int64) ([]record, error) {
+	if size%recordSize != 0 {
+		return nil, fmt.Errorf("index: spill size %d not a record multiple", size)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	data := make([]byte, size)
+	if _, err := io.ReadFull(bufio.NewReaderSize(f, 1<<20), data); err != nil {
+		return nil, fmt.Errorf("index: load spill: %w", err)
+	}
+	recs := make([]record, size/recordSize)
+	for i := range recs {
+		recs[i] = decodeRecord(data[i*recordSize:])
+	}
+	return recs, nil
+}
+
+// CleanSpills removes leftover spill files from dir (normally none; a
+// crashed build may leave them).
+func CleanSpills(dir string) error {
+	matches, err := filepath.Glob(filepath.Join(dir, "spill-*"))
+	if err != nil {
+		return err
+	}
+	for _, m := range matches {
+		if err := os.Remove(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package index
+
+import (
+	"sort"
+
+	"ndss/internal/corpus"
+	"ndss/internal/hash"
+	"ndss/internal/window"
+)
+
+// MemIndex is a fully in-memory inverted index of compact windows with
+// the same read surface as the on-disk Index. It suits small corpora,
+// tests, and ephemeral workloads where index persistence is not wanted;
+// queries skip all file I/O (IOStats always reads zero).
+type MemIndex struct {
+	meta   Meta
+	family *hash.Family
+	// lists[fn] maps min-hash -> postings sorted by text id.
+	lists []map[uint64][]Posting
+}
+
+// BuildMem builds an in-memory index over a corpus. ZoneMapStep and
+// LongListCutoff in opts are ignored (there is nothing to probe around).
+func BuildMem(c *corpus.Corpus, opts BuildOptions) (*MemIndex, error) {
+	if err := opts.setDefaults(); err != nil {
+		return nil, err
+	}
+	fam, err := hash.NewFamily(opts.K, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	m := &MemIndex{
+		meta: Meta{
+			K:              opts.K,
+			Seed:           opts.Seed,
+			T:              opts.T,
+			NumTexts:       c.NumTexts(),
+			TotalTokens:    c.TotalTokens(),
+			ZoneMapStep:    opts.ZoneMapStep,
+			LongListCutoff: opts.LongListCutoff,
+		},
+		family: fam,
+		lists:  make([]map[uint64][]Posting, opts.K),
+	}
+	var vals []uint64
+	var ws []window.Window
+	for fn := 0; fn < opts.K; fn++ {
+		lists := make(map[uint64][]Posting)
+		f := fam.Func(fn)
+		for id := 0; id < c.NumTexts(); id++ {
+			tokens := c.Text(uint32(id))
+			if len(tokens) < opts.T {
+				continue
+			}
+			vals = window.Hashes(tokens, f, vals)
+			ws = window.GenerateLinear(vals, opts.T, ws[:0])
+			for _, w := range ws {
+				h := vals[w.C]
+				lists[h] = append(lists[h], Posting{
+					TextID: uint32(id), L: uint32(w.L), C: uint32(w.C), R: uint32(w.R),
+				})
+			}
+		}
+		// Texts are visited in id order, so lists are already sorted by
+		// text id; L order within a text follows generation order, which
+		// is fine for the reader contract (sorted by TextID).
+		m.lists[fn] = lists
+	}
+	return m, nil
+}
+
+// K returns the number of hash functions.
+func (m *MemIndex) K() int { return m.meta.K }
+
+// Meta returns the index metadata.
+func (m *MemIndex) Meta() Meta { return m.meta }
+
+// Family returns the hash family queries must sketch with.
+func (m *MemIndex) Family() *hash.Family { return m.family }
+
+// ListLength returns the posting count for hash h of function fn.
+func (m *MemIndex) ListLength(fn int, h uint64) int { return len(m.lists[fn][h]) }
+
+// ListLengths returns all list lengths of function fn, unordered.
+func (m *MemIndex) ListLengths(fn int) []int {
+	out := make([]int, 0, len(m.lists[fn]))
+	for _, ps := range m.lists[fn] {
+		out = append(out, len(ps))
+	}
+	return out
+}
+
+// ReadList returns the postings for hash h of function fn. The slice is
+// shared with the index and must not be mutated.
+func (m *MemIndex) ReadList(fn int, h uint64) ([]Posting, error) {
+	return m.lists[fn][h], nil
+}
+
+// ReadListForText returns only textID's postings within the list for
+// hash h of function fn, using binary search over the id-sorted list.
+func (m *MemIndex) ReadListForText(fn int, h uint64, textID uint32) ([]Posting, error) {
+	ps := m.lists[fn][h]
+	lo := sort.Search(len(ps), func(i int) bool { return ps[i].TextID >= textID })
+	hi := lo
+	for hi < len(ps) && ps[hi].TextID == textID {
+		hi++
+	}
+	if lo == hi {
+		return nil, nil
+	}
+	return ps[lo:hi], nil
+}
+
+// IOStats reports zeroes: a MemIndex performs no I/O.
+func (m *MemIndex) IOStats() IOStats { return IOStats{} }
+
+// TotalPostings returns the total number of indexed compact windows.
+func (m *MemIndex) TotalPostings() int64 {
+	var n int64
+	for _, lists := range m.lists {
+		for _, ps := range lists {
+			n += int64(len(ps))
+		}
+	}
+	return n
+}

@@ -1,0 +1,99 @@
+package index
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestMemIndexMatchesDiskIndex: the in-memory index must expose exactly
+// the same lists as the on-disk one built with the same parameters.
+func TestMemIndexMatchesDiskIndex(t *testing.T) {
+	c := testCorpus(t, 40, 30, 100, 300, 71)
+	opts := BuildOptions{K: 3, Seed: 7, T: 10}
+	disk, _ := buildIndex(t, c, opts)
+	mem, err := BuildMem(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mem.K() != disk.K() {
+		t.Fatalf("K: %d vs %d", mem.K(), disk.K())
+	}
+	if mem.TotalPostings() != disk.TotalPostings() {
+		t.Fatalf("postings: %d vs %d", mem.TotalPostings(), disk.TotalPostings())
+	}
+	for fn := 0; fn < disk.K(); fn++ {
+		for _, h := range disk.Hashes(fn) {
+			want, err := disk.ReadList(fn, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := mem.ReadList(fn, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := append([]Posting{}, want...)
+			b := append([]Posting{}, got...)
+			sortPostings(a)
+			sortPostings(b)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("fn %d hash %x: lists differ", fn, h)
+			}
+			if mem.ListLength(fn, h) != len(want) {
+				t.Fatalf("fn %d hash %x: length %d vs %d", fn, h, mem.ListLength(fn, h), len(want))
+			}
+		}
+	}
+}
+
+func TestMemIndexReadListForText(t *testing.T) {
+	c := testCorpus(t, 50, 40, 120, 60, 73) // small vocab: repeated hashes
+	mem, err := BuildMem(c, BuildOptions{K: 2, Seed: 9, T: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fn := 0; fn < 2; fn++ {
+		for h, full := range mem.lists[fn] {
+			for _, id := range []uint32{0, 10, 25, 49, 1000} {
+				got, err := mem.ReadListForText(fn, h, id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var want []Posting
+				for _, p := range full {
+					if p.TextID == id {
+						want = append(want, p)
+					}
+				}
+				if len(got) != len(want) {
+					t.Fatalf("fn %d hash %x text %d: %d vs %d postings", fn, h, id, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("fn %d hash %x text %d: posting mismatch", fn, h, id)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMemIndexMeta(t *testing.T) {
+	c := testCorpus(t, 10, 30, 60, 100, 75)
+	mem, err := BuildMem(c, BuildOptions{K: 4, Seed: 11, T: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mem.Meta()
+	if m.K != 4 || m.Seed != 11 || m.T != 10 || m.NumTexts != 10 {
+		t.Fatalf("meta = %+v", m)
+	}
+	if mem.Family().K() != 4 {
+		t.Fatal("family mismatch")
+	}
+	if got := mem.IOStats(); got.BytesRead != 0 || got.ReadTime != 0 {
+		t.Fatalf("IOStats = %+v", got)
+	}
+	if _, err := BuildMem(c, BuildOptions{K: 0, T: 5}); err == nil {
+		t.Fatal("K=0 should fail")
+	}
+}

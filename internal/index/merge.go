@@ -1,0 +1,240 @@
+package index
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"ndss/internal/corpus"
+)
+
+// MergeShards merges index directories built over consecutive corpus
+// shards into one index at outDir. offsets[i] is added to every text id
+// of shard i, and shards must cover ascending, disjoint id ranges (the
+// natural outcome of splitting a corpus into consecutive chunks), so
+// merged lists stay sorted by text id. All shards must share K, Seed
+// and T. Zone maps are regenerated for the merged lists.
+//
+// This realizes the paper's parallel-build strategy — per-worker
+// private index state merged and flushed at the end — at directory
+// granularity.
+func MergeShards(shardDirs []string, offsets []uint32, outDir string) error {
+	if len(shardDirs) == 0 {
+		return fmt.Errorf("index: no shards to merge")
+	}
+	if len(offsets) != len(shardDirs) {
+		return fmt.Errorf("index: %d offsets for %d shards", len(offsets), len(shardDirs))
+	}
+	shards := make([]*Index, len(shardDirs))
+	for i, dir := range shardDirs {
+		ix, err := Open(dir)
+		if err != nil {
+			return fmt.Errorf("index: open shard %d: %w", i, err)
+		}
+		defer ix.Close()
+		shards[i] = ix
+	}
+	base := shards[0].Meta()
+	merged := Meta{
+		K: base.K, Seed: base.Seed, T: base.T,
+		ZoneMapStep: base.ZoneMapStep, LongListCutoff: base.LongListCutoff,
+	}
+	for i, sh := range shards {
+		m := sh.Meta()
+		if m.K != base.K || m.Seed != base.Seed || m.T != base.T {
+			return fmt.Errorf("index: shard %d parameters (k=%d seed=%d t=%d) differ from shard 0 (k=%d seed=%d t=%d)",
+				i, m.K, m.Seed, m.T, base.K, base.Seed, base.T)
+		}
+		merged.NumTexts += m.NumTexts
+		merged.TotalTokens += m.TotalTokens
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+
+	for fn := 0; fn < base.K; fn++ {
+		if err := mergeFunc(shards, offsets, outDir, fn, merged); err != nil {
+			return err
+		}
+	}
+	return writeMeta(outDir, merged)
+}
+
+// mergeFunc k-way merges one hash function's lists across shards.
+func mergeFunc(shards []*Index, offsets []uint32, outDir string, fn int, meta Meta) error {
+	w, err := newFileWriter(filepath.Join(outDir, funcFileName(fn)), fn, meta.ZoneMapStep, meta.LongListCutoff)
+	if err != nil {
+		return err
+	}
+	hashes := make([][]uint64, len(shards))
+	cursor := make([]int, len(shards))
+	for i, sh := range shards {
+		hashes[i] = sh.Hashes(fn)
+	}
+	var recs []record
+	for {
+		// Find the smallest pending hash across shards.
+		var cur uint64
+		found := false
+		for i := range shards {
+			if cursor[i] >= len(hashes[i]) {
+				continue
+			}
+			if h := hashes[i][cursor[i]]; !found || h < cur {
+				cur, found = h, true
+			}
+		}
+		if !found {
+			break
+		}
+		// Collect postings for this hash from every shard holding it, in
+		// shard order (ascending text-id ranges keep the list sorted).
+		recs = recs[:0]
+		for i, sh := range shards {
+			if cursor[i] >= len(hashes[i]) || hashes[i][cursor[i]] != cur {
+				continue
+			}
+			cursor[i]++
+			ps, err := sh.ReadList(fn, cur)
+			if err != nil {
+				w.abort()
+				return err
+			}
+			for _, p := range ps {
+				p.TextID += offsets[i]
+				recs = append(recs, record{Hash: cur, Posting: p})
+			}
+		}
+		if err := w.addList(cur, recs); err != nil {
+			w.abort()
+			return err
+		}
+	}
+	if _, err := w.finish(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Append extends an existing index at dir with new texts: it builds a
+// delta index over the new texts (ids continue after the existing
+// corpus) and merges base + delta into a fresh directory, which then
+// atomically replaces dir. The result is identical to rebuilding over
+// the concatenated corpus.
+func Append(dir string, newTexts *corpus.Corpus) error {
+	meta, err := readMeta(dir)
+	if err != nil {
+		return err
+	}
+	parent := filepath.Dir(dir)
+	deltaDir, err := os.MkdirTemp(parent, "ndss-delta-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(deltaDir)
+	opts := BuildOptions{
+		K: meta.K, Seed: meta.Seed, T: meta.T,
+		ZoneMapStep: meta.ZoneMapStep, LongListCutoff: meta.LongListCutoff,
+	}
+	if _, err := Build(newTexts, deltaDir, opts); err != nil {
+		return err
+	}
+	outDir, err := os.MkdirTemp(parent, "ndss-merged-*")
+	if err != nil {
+		return err
+	}
+	if err := MergeShards([]string{dir, deltaDir}, []uint32{0, uint32(meta.NumTexts)}, outDir); err != nil {
+		os.RemoveAll(outDir)
+		return err
+	}
+	// Swap the merged index into place.
+	backup := dir + ".old"
+	if err := os.Rename(dir, backup); err != nil {
+		os.RemoveAll(outDir)
+		return err
+	}
+	if err := os.Rename(outDir, dir); err != nil {
+		os.Rename(backup, dir) // best-effort restore
+		os.RemoveAll(outDir)
+		return err
+	}
+	return os.RemoveAll(backup)
+}
+
+// BuildSharded splits an in-memory corpus into numShards consecutive
+// chunks, builds a shard index for each concurrently, and merges them
+// into dir. The result is identical to Build over the whole corpus.
+func BuildSharded(c *corpus.Corpus, dir string, opts BuildOptions, numShards int) error {
+	if numShards < 1 {
+		numShards = 1
+	}
+	if numShards > c.NumTexts() && c.NumTexts() > 0 {
+		numShards = c.NumTexts()
+	}
+	if err := opts.setDefaults(); err != nil {
+		return err
+	}
+	tmp, err := os.MkdirTemp(dir, "shards-*")
+	if err != nil {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		tmp, err = os.MkdirTemp(dir, "shards-*")
+		if err != nil {
+			return err
+		}
+	}
+	defer os.RemoveAll(tmp)
+
+	chunk := (c.NumTexts() + numShards - 1) / numShards
+	var (
+		shardDirs []string
+		offsets   []uint32
+	)
+	type job struct {
+		dir   string
+		start int
+		end   int
+	}
+	var jobs []job
+	for s := 0; s < numShards; s++ {
+		start := s * chunk
+		end := start + chunk
+		if end > c.NumTexts() {
+			end = c.NumTexts()
+		}
+		if start >= end {
+			break
+		}
+		sd := filepath.Join(tmp, fmt.Sprintf("shard-%03d", s))
+		if err := os.MkdirAll(sd, 0o755); err != nil {
+			return err
+		}
+		shardDirs = append(shardDirs, sd)
+		offsets = append(offsets, uint32(start))
+		jobs = append(jobs, job{dir: sd, start: start, end: end})
+	}
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			sub := corpus.New(nil)
+			for id := j.start; id < j.end; id++ {
+				sub.Append(c.Text(uint32(id)))
+			}
+			shardOpts := opts
+			shardOpts.Parallelism = 1 // shards are the parallelism unit
+			_, errs[i] = Build(sub, j.dir, shardOpts)
+		}(i, j)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("index: build shard %d: %w", i, err)
+		}
+	}
+	return MergeShards(shardDirs, offsets, dir)
+}

@@ -1,0 +1,117 @@
+package index
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ndss/internal/corpus"
+)
+
+// TestBuildShardedEqualsDirect: sharded build + merge must reproduce the
+// direct build exactly.
+func TestBuildShardedEqualsDirect(t *testing.T) {
+	c := testCorpus(t, 55, 30, 100, 300, 81)
+	opts := BuildOptions{K: 3, Seed: 13, T: 10}
+	direct, _ := buildIndex(t, c, opts)
+	for _, shards := range []int{1, 2, 4, 7} {
+		dir := t.TempDir()
+		if err := BuildSharded(c, dir, opts, shards); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		merged, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIndexesEqual(t, direct, merged)
+		if err := merged.VerifyIntegrity(); err != nil {
+			t.Fatalf("shards=%d: merged index corrupt: %v", shards, err)
+		}
+		merged.Close()
+	}
+}
+
+func TestBuildShardedMoreShardsThanTexts(t *testing.T) {
+	c := corpus.New([][]uint32{
+		{1, 2, 3, 4, 5, 6, 7, 8},
+		{9, 10, 11, 12, 13, 14, 15, 16},
+	})
+	dir := t.TempDir()
+	if err := BuildSharded(c, dir, BuildOptions{K: 2, Seed: 1, T: 5}, 10); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if ix.Meta().NumTexts != 2 {
+		t.Fatalf("NumTexts = %d", ix.Meta().NumTexts)
+	}
+}
+
+func TestMergeShardsValidation(t *testing.T) {
+	if err := MergeShards(nil, nil, t.TempDir()); err == nil {
+		t.Fatal("empty shard list should fail")
+	}
+	c := testCorpus(t, 10, 30, 60, 100, 83)
+	a := t.TempDir()
+	if _, err := Build(c, a, BuildOptions{K: 2, Seed: 1, T: 5}); err != nil {
+		t.Fatal(err)
+	}
+	b := t.TempDir()
+	if _, err := Build(c, b, BuildOptions{K: 2, Seed: 2, T: 5}); err != nil {
+		t.Fatal(err)
+	}
+	// Mismatched seeds must be rejected.
+	if err := MergeShards([]string{a, b}, []uint32{0, 10}, t.TempDir()); err == nil {
+		t.Fatal("mismatched shard seeds should fail")
+	}
+	// Offsets length mismatch.
+	if err := MergeShards([]string{a}, []uint32{0, 1}, t.TempDir()); err == nil {
+		t.Fatal("offset count mismatch should fail")
+	}
+	// Missing shard dir.
+	if err := MergeShards([]string{filepath.Join(t.TempDir(), "nope")}, []uint32{0}, t.TempDir()); err == nil {
+		t.Fatal("missing shard should fail")
+	}
+}
+
+func TestMergeShardsOffsets(t *testing.T) {
+	// Two shards with the same single text; offsets map them to ids 0
+	// and 5.
+	text := []uint32{1, 2, 3, 4, 5, 6, 7, 8}
+	mk := func() string {
+		dir := t.TempDir()
+		if _, err := Build(corpus.New([][]uint32{text}), dir, BuildOptions{K: 1, Seed: 3, T: 5}); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	out := t.TempDir()
+	if err := MergeShards([]string{mk(), mk()}, []uint32{0, 5}, out); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	ids := map[uint32]bool{}
+	for _, h := range ix.Hashes(0) {
+		ps, err := ix.ReadList(0, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(ps); i++ {
+			if ps[i].TextID < ps[i-1].TextID {
+				t.Fatal("merged list not sorted by text id")
+			}
+		}
+		for _, p := range ps {
+			ids[p.TextID] = true
+		}
+	}
+	if !ids[0] || !ids[5] || len(ids) != 2 {
+		t.Fatalf("merged text ids = %v", ids)
+	}
+}

@@ -1,0 +1,58 @@
+package index
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Meta describes an index directory. It is stored as JSON in
+// index.meta so indexes are self-describing.
+type Meta struct {
+	// K is the number of hash functions (and inverted files).
+	K int `json:"k"`
+	// Seed derives the hash family; queries must use the same family.
+	Seed int64 `json:"seed"`
+	// T is the length threshold: only sequences with at least T tokens
+	// are indexed.
+	T int `json:"t"`
+	// NumTexts and TotalTokens describe the indexed corpus.
+	NumTexts    int   `json:"num_texts"`
+	TotalTokens int64 `json:"total_tokens"`
+	// ZoneMapStep is the number of postings per zone in long lists.
+	ZoneMapStep int `json:"zone_map_step"`
+	// LongListCutoff is the posting count above which a list gets a
+	// zone map.
+	LongListCutoff int `json:"long_list_cutoff"`
+}
+
+const metaFileName = "index.meta"
+
+// funcFileName names the inverted file of hash function i.
+func funcFileName(i int) string {
+	return fmt.Sprintf("index.%03d", i)
+}
+
+func writeMeta(dir string, m Meta) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("index: marshal meta: %w", err)
+	}
+	return os.WriteFile(filepath.Join(dir, metaFileName), data, 0o644)
+}
+
+func readMeta(dir string) (Meta, error) {
+	var m Meta
+	data, err := os.ReadFile(filepath.Join(dir, metaFileName))
+	if err != nil {
+		return m, fmt.Errorf("index: read meta: %w", err)
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, fmt.Errorf("index: parse meta: %w", err)
+	}
+	if m.K <= 0 || m.T <= 0 {
+		return m, fmt.Errorf("index: invalid meta: k=%d t=%d", m.K, m.T)
+	}
+	return m, nil
+}

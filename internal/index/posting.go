@@ -1,0 +1,87 @@
+// Package index implements the paper's inverted index of compact windows
+// (§3.4): k inverted files, one per min-hash function, mapping a min-hash
+// value to the list of compact windows (TextID, L, C, R) whose sequences
+// all carry that min-hash. Lists are ordered by text id and long lists
+// carry zone maps for per-text probing (Algorithm 3's prefix filtering
+// path).
+//
+// Three builders are provided: an in-memory builder for corpora that fit
+// in RAM (Algorithm 1's main path), a parallel variant, and an external
+// hash-aggregation builder with recursive partitioning for corpora larger
+// than memory.
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Posting locates one compact window: text id plus the window bounds
+// (0-based inclusive). Every sequence T[i..j] with L <= i <= C <= j <= R
+// of text TextID has the list's min-hash value under the list's hash
+// function.
+type Posting struct {
+	TextID uint32
+	L      uint32
+	C      uint32
+	R      uint32
+}
+
+// postingSize is the on-disk size of one posting.
+const postingSize = 16
+
+func encodePosting(dst []byte, p Posting) {
+	binary.LittleEndian.PutUint32(dst[0:], p.TextID)
+	binary.LittleEndian.PutUint32(dst[4:], p.L)
+	binary.LittleEndian.PutUint32(dst[8:], p.C)
+	binary.LittleEndian.PutUint32(dst[12:], p.R)
+}
+
+func decodePosting(src []byte) Posting {
+	return Posting{
+		TextID: binary.LittleEndian.Uint32(src[0:]),
+		L:      binary.LittleEndian.Uint32(src[4:]),
+		C:      binary.LittleEndian.Uint32(src[8:]),
+		R:      binary.LittleEndian.Uint32(src[12:]),
+	}
+}
+
+// record pairs a posting with its min-hash value during construction.
+type record struct {
+	Hash    uint64
+	Posting Posting
+}
+
+// recordSize is the on-disk size of one spill record (external build).
+const recordSize = 24
+
+func encodeRecord(dst []byte, r record) {
+	binary.LittleEndian.PutUint64(dst[0:], r.Hash)
+	encodePosting(dst[8:], r.Posting)
+}
+
+func decodeRecord(src []byte) record {
+	return record{
+		Hash:    binary.LittleEndian.Uint64(src[0:]),
+		Posting: decodePosting(src[8:]),
+	}
+}
+
+// sortRecords orders records by (hash, text id, L). Postings within a
+// list must be ordered by text id for zone maps and per-text probes.
+func sortRecords(recs []record) {
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Hash != recs[j].Hash {
+			return recs[i].Hash < recs[j].Hash
+		}
+		if recs[i].Posting.TextID != recs[j].Posting.TextID {
+			return recs[i].Posting.TextID < recs[j].Posting.TextID
+		}
+		return recs[i].Posting.L < recs[j].Posting.L
+	})
+}
+
+func (p Posting) String() string {
+	return fmt.Sprintf("{T%d (%d,%d,%d)}", p.TextID, p.L, p.C, p.R)
+}

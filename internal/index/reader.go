@@ -1,0 +1,370 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"ndss/internal/hash"
+)
+
+// Index is an opened index directory: k inverted files plus metadata.
+// It is safe for concurrent readers.
+type Index struct {
+	meta   Meta
+	family *hash.Family
+	files  []*funcFile
+
+	// I/O accounting for the latency-split experiments (Fig 3). Updated
+	// atomically on every read.
+	bytesRead atomic.Int64
+	readNanos atomic.Int64
+}
+
+// funcFile is one opened inverted file with its directory resident in
+// memory.
+type funcFile struct {
+	f         *os.File
+	entries   []dirEntry // sorted by hash
+	dirOff    uint64
+	regionCRC uint32
+}
+
+// Open opens an index directory written by one of the builders.
+func Open(dir string) (*Index, error) {
+	meta, err := readMeta(dir)
+	if err != nil {
+		return nil, err
+	}
+	fam, err := hash.NewFamily(meta.K, meta.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{meta: meta, family: fam}
+	for i := 0; i < meta.K; i++ {
+		ff, err := openFuncFile(filepath.Join(dir, funcFileName(i)), i)
+		if err != nil {
+			ix.Close()
+			return nil, err
+		}
+		ix.files = append(ix.files, ff)
+	}
+	return ix, nil
+}
+
+func openFuncFile(path string, wantIdx int) (*funcFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("index: open inverted file: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() < idxHeaderLen+trailerLen {
+		f.Close()
+		return nil, fmt.Errorf("index: inverted file %s too small", path)
+	}
+	var hdr [idxHeaderLen]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if string(hdr[:8]) != idxMagic {
+		f.Close()
+		return nil, fmt.Errorf("index: %s: bad magic %q", path, hdr[:8])
+	}
+	if got := binary.LittleEndian.Uint32(hdr[8:]); got != uint32(wantIdx) {
+		f.Close()
+		return nil, fmt.Errorf("index: %s: function index %d, want %d", path, got, wantIdx)
+	}
+	var tb [trailerLen]byte
+	if _, err := f.ReadAt(tb[:], st.Size()-trailerLen); err != nil {
+		f.Close()
+		return nil, err
+	}
+	dirOff := binary.LittleEndian.Uint64(tb[0:])
+	numLists := binary.LittleEndian.Uint64(tb[8:])
+	regionCRC := binary.LittleEndian.Uint32(tb[16:])
+	dirCRC := binary.LittleEndian.Uint32(tb[20:])
+	if dirOff+numLists*dirEntrySize+trailerLen != uint64(st.Size()) {
+		f.Close()
+		return nil, fmt.Errorf("index: %s: inconsistent trailer", path)
+	}
+	buf := make([]byte, numLists*dirEntrySize)
+	if _, err := f.ReadAt(buf, int64(dirOff)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if got := crc32.ChecksumIEEE(buf); got != dirCRC {
+		f.Close()
+		return nil, fmt.Errorf("index: %s: directory checksum mismatch (%08x != %08x)", path, got, dirCRC)
+	}
+	entries := make([]dirEntry, numLists)
+	for i := range entries {
+		b := buf[i*dirEntrySize:]
+		entries[i] = dirEntry{
+			Hash:      binary.LittleEndian.Uint64(b[0:]),
+			Off:       binary.LittleEndian.Uint64(b[8:]),
+			Count:     binary.LittleEndian.Uint32(b[16:]),
+			ZoneCount: binary.LittleEndian.Uint32(b[20:]),
+			ZoneOff:   binary.LittleEndian.Uint64(b[24:]),
+		}
+	}
+	return &funcFile{f: f, entries: entries, dirOff: dirOff, regionCRC: regionCRC}, nil
+}
+
+// VerifyIntegrity re-reads every inverted file's postings/zones region
+// and checks it against the checksum recorded at build time. It reads
+// each file fully, so it is an explicit maintenance operation rather
+// than part of Open.
+func (ix *Index) VerifyIntegrity() error {
+	for fn, ff := range ix.files {
+		h := crc32.NewIEEE()
+		region := io.NewSectionReader(ff.f, idxHeaderLen, int64(ff.dirOff)-idxHeaderLen)
+		if _, err := io.Copy(h, region); err != nil {
+			return fmt.Errorf("index: verify function %d: %w", fn, err)
+		}
+		if got := h.Sum32(); got != ff.regionCRC {
+			return fmt.Errorf("index: function %d postings region corrupt (crc %08x != %08x)",
+				fn, got, ff.regionCRC)
+		}
+	}
+	return nil
+}
+
+// Close releases all file handles.
+func (ix *Index) Close() error {
+	var first error
+	for _, ff := range ix.files {
+		if ff == nil {
+			continue
+		}
+		if err := ff.f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	ix.files = nil
+	return first
+}
+
+// Meta returns the index metadata.
+func (ix *Index) Meta() Meta { return ix.meta }
+
+// Family returns the hash family the index was built with. Queries must
+// sketch with this family.
+func (ix *Index) Family() *hash.Family { return ix.family }
+
+// K returns the number of hash functions / inverted files.
+func (ix *Index) K() int { return ix.meta.K }
+
+// lookup finds the directory entry for hash h in function fn.
+func (ff *funcFile) lookup(h uint64) (dirEntry, bool) {
+	i := sort.Search(len(ff.entries), func(i int) bool { return ff.entries[i].Hash >= h })
+	if i < len(ff.entries) && ff.entries[i].Hash == h {
+		return ff.entries[i], true
+	}
+	return dirEntry{}, false
+}
+
+// ListLength returns the posting count of the inverted list for hash h
+// in function fn, without any I/O (the directory is memory-resident).
+func (ix *Index) ListLength(fn int, h uint64) int {
+	e, ok := ix.files[fn].lookup(h)
+	if !ok {
+		return 0
+	}
+	return int(e.Count)
+}
+
+// NumLists returns the number of inverted lists of function fn.
+func (ix *Index) NumLists(fn int) int { return len(ix.files[fn].entries) }
+
+// Hashes returns every min-hash value that has an inverted list in
+// function fn, in ascending order.
+func (ix *Index) Hashes(fn int) []uint64 {
+	out := make([]uint64, len(ix.files[fn].entries))
+	for i, e := range ix.files[fn].entries {
+		out[i] = e.Hash
+	}
+	return out
+}
+
+// ListLengths returns the posting counts of every list of function fn,
+// unordered. Used to pick prefix-filtering cutoffs.
+func (ix *Index) ListLengths(fn int) []int {
+	out := make([]int, len(ix.files[fn].entries))
+	for i, e := range ix.files[fn].entries {
+		out[i] = int(e.Count)
+	}
+	return out
+}
+
+// readAt wraps ReadAt with I/O accounting.
+func (ix *Index) readAt(ff *funcFile, buf []byte, off int64) error {
+	start := time.Now()
+	_, err := ff.f.ReadAt(buf, off)
+	ix.readNanos.Add(int64(time.Since(start)))
+	ix.bytesRead.Add(int64(len(buf)))
+	return err
+}
+
+// ReadList reads the entire inverted list for hash h of function fn.
+// A missing hash yields an empty list.
+func (ix *Index) ReadList(fn int, h uint64) ([]Posting, error) {
+	ff := ix.files[fn]
+	e, ok := ff.lookup(h)
+	if !ok {
+		return nil, nil
+	}
+	out, err := ix.readListEntry(ff, e)
+	if err != nil {
+		return nil, fmt.Errorf("index: read list %x: %w", h, err)
+	}
+	return out, nil
+}
+
+// ReadListForText returns only the postings of textID within the list
+// for hash h of function fn. Long lists are probed through their zone
+// map so the read is proportional to the zone step rather than the list
+// length; short lists are read fully and filtered.
+func (ix *Index) ReadListForText(fn int, h uint64, textID uint32) ([]Posting, error) {
+	ff := ix.files[fn]
+	e, ok := ff.lookup(h)
+	if !ok {
+		return nil, nil
+	}
+	if e.ZoneCount == 0 {
+		full, err := ix.readListEntry(ff, e)
+		if err != nil {
+			return nil, err
+		}
+		return filterByText(full, textID), nil
+	}
+	zones, err := ix.readZones(ff, e)
+	if err != nil {
+		return nil, err
+	}
+	// First zone whose FirstTextID > textID bounds the probe on the
+	// right; the probe starts one zone before the first zone with
+	// FirstTextID >= textID (the text's postings may begin mid-zone).
+	hi := sort.Search(len(zones), func(i int) bool { return zones[i].FirstTextID > textID })
+	if hi == 0 {
+		// The list's very first posting already has a larger text id.
+		return nil, nil
+	}
+	lo := sort.Search(len(zones), func(i int) bool { return zones[i].FirstTextID >= textID })
+	if lo > 0 {
+		lo--
+	}
+	startOrd := int(zones[lo].Ordinal)
+	endOrd := int(e.Count)
+	if hi < len(zones) {
+		endOrd = int(zones[hi].Ordinal)
+	}
+	buf := make([]byte, (endOrd-startOrd)*postingSize)
+	if err := ix.readAt(ff, buf, int64(e.Off)+int64(startOrd*postingSize)); err != nil {
+		return nil, fmt.Errorf("index: probe list %x: %w", h, err)
+	}
+	var out []Posting
+	for i := 0; i < endOrd-startOrd; i++ {
+		p := decodePosting(buf[i*postingSize:])
+		if p.TextID == textID {
+			out = append(out, p)
+		} else if p.TextID > textID {
+			break
+		}
+	}
+	return out, nil
+}
+
+func (ix *Index) readListEntry(ff *funcFile, e dirEntry) ([]Posting, error) {
+	buf := make([]byte, int(e.Count)*postingSize)
+	if err := ix.readAt(ff, buf, int64(e.Off)); err != nil {
+		return nil, err
+	}
+	out := make([]Posting, e.Count)
+	for i := range out {
+		out[i] = decodePosting(buf[i*postingSize:])
+	}
+	return out, nil
+}
+
+func (ix *Index) readZones(ff *funcFile, e dirEntry) ([]zoneEntry, error) {
+	buf := make([]byte, int(e.ZoneCount)*zoneEntrySize)
+	if err := ix.readAt(ff, buf, int64(e.ZoneOff)); err != nil {
+		return nil, err
+	}
+	out := make([]zoneEntry, e.ZoneCount)
+	for i := range out {
+		out[i] = zoneEntry{
+			FirstTextID: binary.LittleEndian.Uint32(buf[i*zoneEntrySize:]),
+			Ordinal:     binary.LittleEndian.Uint32(buf[i*zoneEntrySize+4:]),
+		}
+	}
+	return out, nil
+}
+
+func filterByText(ps []Posting, textID uint32) []Posting {
+	var out []Posting
+	for _, p := range ps {
+		if p.TextID == textID {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// IOStats reports cumulative read accounting since the index was opened
+// or since the last ResetIOStats.
+type IOStats struct {
+	BytesRead int64
+	ReadTime  time.Duration
+}
+
+// IOStats returns cumulative I/O counters.
+func (ix *Index) IOStats() IOStats {
+	return IOStats{
+		BytesRead: ix.bytesRead.Load(),
+		ReadTime:  time.Duration(ix.readNanos.Load()),
+	}
+}
+
+// ResetIOStats zeroes the I/O counters.
+func (ix *Index) ResetIOStats() {
+	ix.bytesRead.Store(0)
+	ix.readNanos.Store(0)
+}
+
+// TotalPostings returns the total number of postings (compact windows)
+// across all k files — the "number of compact windows generated" metric
+// of Fig 2(a–d).
+func (ix *Index) TotalPostings() int64 {
+	var n int64
+	for _, ff := range ix.files {
+		for _, e := range ff.entries {
+			n += int64(e.Count)
+		}
+	}
+	return n
+}
+
+// SizeOnDisk sums the sizes of the k inverted files.
+func (ix *Index) SizeOnDisk() (int64, error) {
+	var n int64
+	for _, ff := range ix.files {
+		st, err := ff.f.Stat()
+		if err != nil {
+			return 0, err
+		}
+		n += st.Size()
+	}
+	return n, nil
+}

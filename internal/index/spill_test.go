@@ -1,0 +1,56 @@
+package index
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCleanSpills(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"spill-l0-p0-abc", "spill-l1-p3-def"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keep := filepath.Join(dir, "index.000")
+	if err := os.WriteFile(keep, []byte("y"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := CleanSpills(dir); err != nil {
+		t.Fatal(err)
+	}
+	left, err := filepath.Glob(filepath.Join(dir, "spill-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("spills remain: %v", left)
+	}
+	if _, err := os.Stat(keep); err != nil {
+		t.Fatal("non-spill file was removed")
+	}
+}
+
+func TestPartitionOfSpreadsHashes(t *testing.T) {
+	// Different hash values must not all collapse into one partition at
+	// level 0, and recursion levels must use different bits.
+	counts := map[int]int{}
+	for h := uint64(0); h < 4096; h++ {
+		counts[partitionOf(h*2654435761, 0, 16)]++
+	}
+	if len(counts) < 8 {
+		t.Fatalf("level-0 partitioning too concentrated: %d partitions used", len(counts))
+	}
+	// A fixed level-0 partition's members must split at level 1.
+	sub := map[int]int{}
+	for h := uint64(0); h < 65536; h++ {
+		v := h * 2654435761
+		if partitionOf(v, 0, 16) == 3 {
+			sub[partitionOf(v, 1, 16)]++
+		}
+	}
+	if len(sub) < 8 {
+		t.Fatalf("level-1 partitioning does not split level-0 buckets: %d partitions", len(sub))
+	}
+}

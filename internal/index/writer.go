@@ -1,0 +1,197 @@
+package index
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+)
+
+// Per-function inverted file layout (little-endian):
+//
+//	magic   [8]byte  "NDSSIDX1"
+//	funcIdx uint32
+//	flags   uint32
+//	lists:   for each list, count postings of 16 bytes (sorted by text
+//	         id), immediately followed by its zone entries (8 bytes each)
+//	         when the list is long enough to carry a zone map
+//	directory: numLists entries of 32 bytes, sorted by hash value:
+//	         hash u64 | postingsOff u64 | count u32 | zoneCount u32 |
+//	         zoneOff u64
+//	trailer: dirOff u64 | numLists u64 | regionCRC u32 | dirCRC u32
+//
+// dirCRC (IEEE CRC-32 of the directory bytes) is verified when the file
+// is opened; regionCRC covers the postings/zones region and is checked
+// on demand by Index.VerifyIntegrity, since validating it requires
+// reading the whole file.
+
+const (
+	idxMagic      = "NDSSIDX1"
+	idxHeaderLen  = 16
+	dirEntrySize  = 32
+	zoneEntrySize = 8
+	trailerLen    = 24
+)
+
+// dirEntry is one directory row describing an inverted list.
+type dirEntry struct {
+	Hash      uint64
+	Off       uint64 // absolute offset of the postings run
+	Count     uint32 // number of postings
+	ZoneCount uint32 // number of zone entries (0 = no zone map)
+	ZoneOff   uint64 // absolute offset of the zone entries
+}
+
+// zoneEntry marks the first text id of a fixed-size run of postings,
+// enabling per-text probes into long lists without reading them fully.
+type zoneEntry struct {
+	FirstTextID uint32
+	Ordinal     uint32 // index of the zone's first posting within the list
+}
+
+// fileWriter streams one inverted file. Lists may be added in any hash
+// order; the directory is sorted before being written.
+type fileWriter struct {
+	f          *os.File
+	w          *bufio.Writer
+	pos        uint64
+	entries    []dirEntry
+	zoneStep   int
+	longCutoff int
+	buf        []byte
+	regionCRC  uint32 // running CRC of the postings/zones region
+	closed     bool
+}
+
+func newFileWriter(path string, funcIdx, zoneStep, longCutoff int) (*fileWriter, error) {
+	if zoneStep < 1 {
+		return nil, fmt.Errorf("index: zone step must be positive, got %d", zoneStep)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("index: create inverted file: %w", err)
+	}
+	w := &fileWriter{
+		f:          f,
+		w:          bufio.NewWriterSize(f, 1<<20),
+		zoneStep:   zoneStep,
+		longCutoff: longCutoff,
+	}
+	var hdr [idxHeaderLen]byte
+	copy(hdr[:8], idxMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(funcIdx))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.pos = idxHeaderLen
+	return w, nil
+}
+
+// addList writes one inverted list. recs must all carry the same hash
+// value and be sorted by text id. An error is returned if the hash was
+// already written (lists must be aggregated before reaching the writer).
+func (w *fileWriter) addList(h uint64, recs []record) error {
+	if len(recs) == 0 {
+		return errors.New("index: empty inverted list")
+	}
+	entry := dirEntry{Hash: h, Off: w.pos, Count: uint32(len(recs))}
+	need := len(recs) * postingSize
+	if cap(w.buf) < need {
+		w.buf = make([]byte, need)
+	}
+	buf := w.buf[:need]
+	for i, r := range recs {
+		if r.Hash != h {
+			return fmt.Errorf("index: mixed hashes in list: %x vs %x", r.Hash, h)
+		}
+		encodePosting(buf[i*postingSize:], r.Posting)
+	}
+	if _, err := w.w.Write(buf); err != nil {
+		return err
+	}
+	w.regionCRC = crc32.Update(w.regionCRC, crc32.IEEETable, buf)
+	w.pos += uint64(need)
+
+	if len(recs) > w.longCutoff {
+		nz := (len(recs) + w.zoneStep - 1) / w.zoneStep
+		entry.ZoneOff = w.pos
+		entry.ZoneCount = uint32(nz)
+		var zb [zoneEntrySize]byte
+		for z := 0; z < nz; z++ {
+			ord := z * w.zoneStep
+			binary.LittleEndian.PutUint32(zb[0:], recs[ord].Posting.TextID)
+			binary.LittleEndian.PutUint32(zb[4:], uint32(ord))
+			if _, err := w.w.Write(zb[:]); err != nil {
+				return err
+			}
+			w.regionCRC = crc32.Update(w.regionCRC, crc32.IEEETable, zb[:])
+		}
+		w.pos += uint64(nz * zoneEntrySize)
+	}
+	w.entries = append(w.entries, entry)
+	return nil
+}
+
+// finish writes the directory and trailer and closes the file. It
+// returns the final file size in bytes.
+func (w *fileWriter) finish() (int64, error) {
+	if w.closed {
+		return 0, errors.New("index: writer already finished")
+	}
+	w.closed = true
+	sort.Slice(w.entries, func(i, j int) bool { return w.entries[i].Hash < w.entries[j].Hash })
+	for i := 1; i < len(w.entries); i++ {
+		if w.entries[i].Hash == w.entries[i-1].Hash {
+			w.f.Close()
+			return 0, fmt.Errorf("index: hash %x written as two lists", w.entries[i].Hash)
+		}
+	}
+	dirOff := w.pos
+	dirCRC := uint32(0)
+	var eb [dirEntrySize]byte
+	for _, e := range w.entries {
+		binary.LittleEndian.PutUint64(eb[0:], e.Hash)
+		binary.LittleEndian.PutUint64(eb[8:], e.Off)
+		binary.LittleEndian.PutUint32(eb[16:], e.Count)
+		binary.LittleEndian.PutUint32(eb[20:], e.ZoneCount)
+		binary.LittleEndian.PutUint64(eb[24:], e.ZoneOff)
+		if _, err := w.w.Write(eb[:]); err != nil {
+			w.f.Close()
+			return 0, err
+		}
+		dirCRC = crc32.Update(dirCRC, crc32.IEEETable, eb[:])
+	}
+	w.pos += uint64(len(w.entries) * dirEntrySize)
+	var tb [trailerLen]byte
+	binary.LittleEndian.PutUint64(tb[0:], dirOff)
+	binary.LittleEndian.PutUint64(tb[8:], uint64(len(w.entries)))
+	binary.LittleEndian.PutUint32(tb[16:], w.regionCRC)
+	binary.LittleEndian.PutUint32(tb[20:], dirCRC)
+	if _, err := w.w.Write(tb[:]); err != nil {
+		w.f.Close()
+		return 0, err
+	}
+	w.pos += trailerLen
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return 0, err
+	}
+	if err := w.f.Close(); err != nil {
+		return 0, err
+	}
+	return int64(w.pos), nil
+}
+
+// abort closes and removes the partially written file.
+func (w *fileWriter) abort() {
+	if !w.closed {
+		w.closed = true
+		name := w.f.Name()
+		w.f.Close()
+		os.Remove(name)
+	}
+}

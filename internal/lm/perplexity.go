@@ -1,0 +1,37 @@
+package lm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Perplexity computes the model's perplexity on a token sequence:
+// exp(-1/n * sum log p(x_i | x_<i)), the standard language-model quality
+// metric (§2 of the paper defines training as minimizing exactly this
+// log loss). Unseen tokens are assigned an add-one-smoothed floor
+// probability so the result stays finite.
+func (m *Model) Perplexity(text []uint32) (float64, error) {
+	if len(text) == 0 {
+		return 0, fmt.Errorf("lm: perplexity of an empty sequence is undefined")
+	}
+	var logSum float64
+	for i := range text {
+		logSum += math.Log(m.prob(text[:i], text[i]))
+	}
+	return math.Exp(-logSum / float64(len(text))), nil
+}
+
+// prob returns the smoothed probability of next following context.
+func (m *Model) prob(context []uint32, next uint32) float64 {
+	cands := m.NextDistribution(context)
+	var total, hit int64
+	for _, c := range cands {
+		total += c.Count
+		if c.Token == next {
+			hit = c.Count
+		}
+	}
+	// Add-one smoothing over the candidate support plus one unseen
+	// bucket; an empty model yields the floor for everything.
+	return float64(hit+1) / float64(total+int64(len(cands))+1)
+}

@@ -1,0 +1,77 @@
+package lm
+
+import (
+	"math/rand"
+	"testing"
+
+	"ndss/internal/corpus"
+)
+
+func TestPerplexityEmpty(t *testing.T) {
+	m := trainOn(t, [][]uint32{{1, 2, 3}}, Config{Order: 2})
+	if _, err := m.Perplexity(nil); err == nil {
+		t.Fatal("empty sequence should error")
+	}
+}
+
+func TestPerplexityDeterministicChain(t *testing.T) {
+	// A fully deterministic chain has near-1 conditional probabilities
+	// (less smoothing), so perplexity is low.
+	text := []uint32{10, 11, 12, 13, 14, 15, 16, 17, 10, 11, 12, 13, 14, 15, 16, 17}
+	m := trainOn(t, [][]uint32{text}, Config{Order: 3})
+	pp, err := m.Perplexity(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pp > 3 {
+		t.Fatalf("chain perplexity %v, want small", pp)
+	}
+}
+
+func TestPerplexityTrainVsRandom(t *testing.T) {
+	c := corpus.MustSynthesize(corpus.SynthConfig{
+		NumTexts: 50, MinLength: 100, MaxLength: 200, VocabSize: 500,
+		ZipfS: 1.3, Seed: 7,
+	})
+	m, err := Train(c, Config{Order: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, err := m.Perplexity(c.Text(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	random := make([]uint32, 150)
+	for i := range random {
+		random[i] = uint32(rng.Intn(500))
+	}
+	rnd, err := m.Perplexity(random)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train >= rnd {
+		t.Fatalf("training text perplexity %v should beat random %v", train, rnd)
+	}
+}
+
+func TestPerplexityCapacityHelps(t *testing.T) {
+	c := corpus.MustSynthesize(corpus.SynthConfig{
+		NumTexts: 50, MinLength: 100, MaxLength: 200, VocabSize: 500,
+		ZipfS: 1.3, Seed: 9,
+	})
+	big, err := Train(c, Config{Order: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := Train(c, Config{Order: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := c.Text(3)
+	ppBig, _ := big.Perplexity(text)
+	ppSmall, _ := small.Perplexity(text)
+	if ppBig >= ppSmall {
+		t.Fatalf("order-4 perplexity %v should beat order-1 %v on training data", ppBig, ppSmall)
+	}
+}

@@ -1,0 +1,144 @@
+package lm
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Sampler picks the next token from a candidate distribution. Candidates
+// arrive sorted by descending count.
+type Sampler interface {
+	Pick(cands []Cand, rng *rand.Rand) uint32
+}
+
+// Greedy always picks the most frequent next token (the paper's greedy
+// search).
+type Greedy struct{}
+
+// Pick returns the top candidate.
+func (Greedy) Pick(cands []Cand, _ *rand.Rand) uint32 { return cands[0].Token }
+
+// Random samples from the full learned distribution (the paper's
+// "random sampling based on the learned probability distribution").
+type Random struct{}
+
+// Pick samples proportionally to counts.
+func (Random) Pick(cands []Cand, rng *rand.Rand) uint32 {
+	return weightedPick(cands, rng)
+}
+
+// TopK samples from the K most probable candidates, the strategy the
+// paper's memorization evaluation uses (top-50).
+type TopK struct {
+	K int
+}
+
+// Pick samples proportionally among the top K candidates.
+func (s TopK) Pick(cands []Cand, rng *rand.Rand) uint32 {
+	k := s.K
+	if k < 1 {
+		k = 1
+	}
+	if k > len(cands) {
+		k = len(cands)
+	}
+	return weightedPick(cands[:k], rng)
+}
+
+// TopP samples from the smallest prefix of candidates whose cumulative
+// probability reaches P (nucleus sampling).
+type TopP struct {
+	P float64
+}
+
+// Pick samples from the nucleus.
+func (s TopP) Pick(cands []Cand, rng *rand.Rand) uint32 {
+	p := s.P
+	if p <= 0 || p > 1 {
+		p = 1
+	}
+	var total int64
+	for _, c := range cands {
+		total += c.Count
+	}
+	target := int64(p * float64(total))
+	var cum int64
+	cut := len(cands)
+	for i, c := range cands {
+		cum += c.Count
+		if cum >= target {
+			cut = i + 1
+			break
+		}
+	}
+	return weightedPick(cands[:cut], rng)
+}
+
+func weightedPick(cands []Cand, rng *rand.Rand) uint32 {
+	var total int64
+	for _, c := range cands {
+		total += c.Count
+	}
+	x := rng.Int63n(total)
+	for _, c := range cands {
+		x -= c.Count
+		if x < 0 {
+			return c.Token
+		}
+	}
+	return cands[len(cands)-1].Token
+}
+
+// BeamSearch generates length tokens after prompt keeping the width most
+// probable partial sequences at each step (the paper's beam search). It
+// returns the highest-scoring beam. Scores are sums of log-probability
+// surrogates (log of count fractions).
+func (m *Model) BeamSearch(prompt []uint32, length, width int) []uint32 {
+	if width < 1 {
+		width = 1
+	}
+	type beam struct {
+		tokens []uint32
+		score  float64
+	}
+	beams := []beam{{tokens: append([]uint32{}, prompt...)}}
+	for step := 0; step < length; step++ {
+		var next []beam
+		for _, b := range beams {
+			cands := m.NextDistribution(b.tokens)
+			if len(cands) == 0 {
+				next = append(next, b)
+				continue
+			}
+			var total int64
+			for _, c := range cands {
+				total += c.Count
+			}
+			limit := width
+			if limit > len(cands) {
+				limit = len(cands)
+			}
+			for _, c := range cands[:limit] {
+				tokens := make([]uint32, len(b.tokens), len(b.tokens)+1)
+				copy(tokens, b.tokens)
+				next = append(next, beam{
+					tokens: append(tokens, c.Token),
+					score:  b.score + logFrac(c.Count, total),
+				})
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i].score > next[j].score })
+		if len(next) > width {
+			next = next[:width]
+		}
+		beams = next
+	}
+	best := beams[0].tokens
+	return best[len(prompt):]
+}
+
+// logFrac is the log-probability surrogate log(num/den).
+func logFrac(num, den int64) float64 {
+	return math.Log(float64(num)) - math.Log(float64(den))
+}

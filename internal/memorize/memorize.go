@@ -1,0 +1,116 @@
+// Package memorize implements the paper's §5 evaluation pipeline: sample
+// texts from a language model without prompts, slide a fixed-width
+// window over each generated text to form query sequences, search every
+// query for near-duplicates in the training corpus, and report the
+// fraction of queries that have at least one near-duplicate (the
+// memorization ratio).
+package memorize
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ndss/internal/lm"
+	"ndss/internal/search"
+)
+
+// GenConfig controls unprompted text generation.
+type GenConfig struct {
+	// NumTexts is how many texts to sample.
+	NumTexts int
+	// TextLength is the token length of each sampled text (the paper
+	// samples >= 512 tokens).
+	TextLength int
+	// QueryLength is x, the sliding-window width: each generated text
+	// yields floor(TextLength/x) query sequences T[i*x, (i+1)*x-1].
+	QueryLength int
+	// Sampler is the decoding strategy (the paper uses top-50).
+	Sampler lm.Sampler
+	// Seed drives sampling.
+	Seed int64
+}
+
+// GenerateQueries samples texts from the model and slices them into
+// fixed-width query sequences. Generated texts shorter than QueryLength
+// (a dead-ended model) yield no queries.
+func GenerateQueries(model *lm.Model, cfg GenConfig) ([][]uint32, error) {
+	if cfg.NumTexts <= 0 || cfg.TextLength <= 0 {
+		return nil, fmt.Errorf("memorize: NumTexts and TextLength must be positive")
+	}
+	if cfg.QueryLength <= 0 || cfg.QueryLength > cfg.TextLength {
+		return nil, fmt.Errorf("memorize: QueryLength %d out of range (0, %d]",
+			cfg.QueryLength, cfg.TextLength)
+	}
+	if cfg.Sampler == nil {
+		return nil, fmt.Errorf("memorize: Sampler is required")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var queries [][]uint32
+	for i := 0; i < cfg.NumTexts; i++ {
+		text := model.Generate(nil, cfg.TextLength, cfg.Sampler, rng)
+		for j := 0; j+cfg.QueryLength <= len(text); j += cfg.QueryLength {
+			queries = append(queries, text[j:j+cfg.QueryLength])
+		}
+	}
+	return queries, nil
+}
+
+// Example records one memorized query and where its near-duplicate was
+// found, backing Table 1.
+type Example struct {
+	Query []uint32
+	Match search.Match
+}
+
+// Result summarizes one memorization evaluation.
+type Result struct {
+	// Queries is the number of query sequences evaluated.
+	Queries int
+	// Memorized is the number of queries with at least one
+	// near-duplicate in the corpus.
+	Memorized int
+	// Ratio is Memorized / Queries.
+	Ratio float64
+	// TotalMatches counts all reported near-duplicate spans.
+	TotalMatches int
+	// Examples holds up to MaxExamples memorized queries with one match
+	// each.
+	Examples []Example
+	// Elapsed is the wall-clock evaluation time.
+	Elapsed time.Duration
+}
+
+// EvalConfig controls the search side of the evaluation.
+type EvalConfig struct {
+	// Options configures each near-duplicate search; Theta is required.
+	Options search.Options
+	// MaxExamples bounds Result.Examples (0 = none).
+	MaxExamples int
+}
+
+// Evaluate runs every query through the searcher and aggregates the
+// memorization ratio.
+func Evaluate(s *search.Searcher, queries [][]uint32, cfg EvalConfig) (*Result, error) {
+	start := time.Now()
+	res := &Result{Queries: len(queries)}
+	for _, q := range queries {
+		matches, _, err := s.Search(q, cfg.Options)
+		if err != nil {
+			return nil, fmt.Errorf("memorize: query failed: %w", err)
+		}
+		if len(matches) == 0 {
+			continue
+		}
+		res.Memorized++
+		res.TotalMatches += len(matches)
+		if len(res.Examples) < cfg.MaxExamples {
+			res.Examples = append(res.Examples, Example{Query: q, Match: matches[0]})
+		}
+	}
+	if res.Queries > 0 {
+		res.Ratio = float64(res.Memorized) / float64(res.Queries)
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,182 @@
+package rmq
+
+import "math/bits"
+
+// Linear is a Fischer–Heun style RMQ with O(n) construction time and
+// space and O(1) queries.
+//
+// The array is split into blocks of ~log(n)/4 elements. A sparse table
+// answers queries over whole blocks, and in-block queries use per-shape
+// lookup tables: two blocks whose Cartesian trees have the same shape
+// share the same argmin for every in-block range, so at most O(sqrt(n))
+// distinct tables are ever materialized (they are built lazily, keyed by
+// the block's ballot signature).
+type Linear struct {
+	vals      []uint64
+	blockSize int
+	// blockMinIdx[i] is the global index of the leftmost minimum in
+	// block i.
+	blockMinIdx []int32
+	// sparse[j][i] is the block index holding the leftmost minimum among
+	// blocks [i, i+2^j-1].
+	sparse [][]int32
+	// blockTable[i] is the in-block argmin table for block i (shared
+	// across blocks with the same Cartesian tree shape). Entry [p*size+q]
+	// is the offset of the leftmost minimum in block positions [p, q].
+	blockTable [][]int8
+}
+
+// NewLinear builds the structure over vals. The slice is retained, not
+// copied; callers must not mutate it afterwards.
+func NewLinear(vals []uint64) *Linear {
+	n := len(vals)
+	l := &Linear{vals: vals}
+	if n == 0 {
+		return l
+	}
+	bs := bits.Len(uint(n)) / 4
+	if bs < 1 {
+		bs = 1
+	}
+	if bs > 15 {
+		bs = 15 // keep 2*bs+4 bits of signature comfortably in uint64 keys
+	}
+	l.blockSize = bs
+	numBlocks := (n + bs - 1) / bs
+
+	// Per-shape tables, keyed by ballot signature combined with the
+	// block length (a truncated final block must not share a table with
+	// a full block that happens to have the same signature bits).
+	tables := make(map[uint64][]int8)
+	l.blockMinIdx = make([]int32, numBlocks)
+	l.blockTable = make([][]int8, numBlocks)
+	for blk := 0; blk < numBlocks; blk++ {
+		start := blk * bs
+		end := start + bs
+		if end > n {
+			end = n
+		}
+		block := vals[start:end]
+		sig := ballotSignature(block)
+		key := sig<<4 | uint64(len(block))
+		tbl, ok := tables[key]
+		if !ok {
+			tbl = buildInBlockTable(block, bs)
+			tables[key] = tbl
+		}
+		l.blockTable[blk] = tbl
+		l.blockMinIdx[blk] = int32(start + int(tbl[0*bs+(len(block)-1)]))
+	}
+
+	// Sparse table over block minima.
+	levels := 1
+	if numBlocks > 1 {
+		levels = bits.Len(uint(numBlocks))
+	}
+	l.sparse = make([][]int32, levels)
+	l.sparse[0] = make([]int32, numBlocks)
+	for i := range l.sparse[0] {
+		l.sparse[0][i] = int32(i)
+	}
+	for j := 1; j < levels; j++ {
+		width := 1 << j
+		row := make([]int32, numBlocks-width+1)
+		prev := l.sparse[j-1]
+		half := width / 2
+		for i := range row {
+			row[i] = l.pickBlock(prev[i], prev[i+half])
+		}
+		l.sparse[j] = row
+	}
+	return l
+}
+
+// pickBlock returns whichever of block a or b holds the smaller minimum,
+// preferring the leftward block on ties. a is assumed to be <= b.
+func (l *Linear) pickBlock(a, b int32) int32 {
+	if l.vals[l.blockMinIdx[b]] < l.vals[l.blockMinIdx[a]] {
+		return b
+	}
+	return a
+}
+
+// ballotSignature encodes the shape of the block's Cartesian tree as a
+// bit string: for each element, 0-bits for stack pops followed by a
+// 1-bit for its push. Blocks with equal signatures (and equal length)
+// have identical argmin structure under the leftmost-minimum tie rule.
+func ballotSignature(block []uint64) uint64 {
+	var sig uint64
+	var stack [16]uint64
+	top := -1
+	for _, v := range block {
+		for top >= 0 && stack[top] > v { // strict: equal values stay (leftmost wins)
+			sig <<= 1 // pop -> 0 bit
+			top--
+		}
+		top++
+		stack[top] = v
+		sig = sig<<1 | 1 // push -> 1 bit
+	}
+	return sig
+}
+
+// buildInBlockTable computes the argmin-offset table of a block by
+// dynamic programming: table[p*stride+q] is the offset of the leftmost
+// minimum of block[p..q].
+func buildInBlockTable(block []uint64, stride int) []int8 {
+	m := len(block)
+	tbl := make([]int8, stride*stride)
+	for p := 0; p < m; p++ {
+		best := p
+		tbl[p*stride+p] = int8(p)
+		for q := p + 1; q < m; q++ {
+			if block[q] < block[best] {
+				best = q
+			}
+			tbl[p*stride+q] = int8(best)
+		}
+	}
+	return tbl
+}
+
+// Len returns the length of the underlying array.
+func (l *Linear) Len() int { return len(l.vals) }
+
+// Query returns the index of the leftmost minimum in [l, r].
+func (l *Linear) Query(lo, hi int) int {
+	checkRange(lo, hi, len(l.vals))
+	bs := l.blockSize
+	bl, br := lo/bs, hi/bs
+	if bl == br {
+		tbl := l.blockTable[bl]
+		off := tbl[(lo-bl*bs)*bs+(hi-bl*bs)]
+		return bl*bs + int(off)
+	}
+	// Suffix of the left block.
+	tblL := l.blockTable[bl]
+	lastL := min((bl+1)*bs, len(l.vals)) - 1
+	best := bl*bs + int(tblL[(lo-bl*bs)*bs+(lastL-bl*bs)])
+	// Whole blocks in between.
+	if bl+1 <= br-1 {
+		j := bits.Len(uint(br-1-(bl+1)+1)) - 1
+		a := l.sparse[j][bl+1]
+		b := l.sparse[j][br-1-(1<<j)+1]
+		blkBest := l.pickBlock(a, b)
+		if cand := int(l.blockMinIdx[blkBest]); l.vals[cand] < l.vals[best] {
+			best = cand
+		}
+	}
+	// Prefix of the right block.
+	tblR := l.blockTable[br]
+	if cand := br*bs + int(tblR[0*bs+(hi-br*bs)]); l.vals[cand] < l.vals[best] {
+		best = cand
+	}
+	return best
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

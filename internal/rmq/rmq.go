@@ -1,0 +1,46 @@
+// Package rmq provides range-minimum-query structures over arrays of
+// 64-bit hash values.
+//
+// The compact-window generation algorithm (paper Algorithm 2) repeatedly
+// asks for the position of the smallest token hash in a range. Three
+// structures are provided with different construction/query trade-offs:
+//
+//   - SegmentTree: O(n) build, O(log n) query — what ALIGN used.
+//   - Sparse: O(n log n) build and space, O(1) query.
+//   - Linear: O(n) build and space, O(1) query (Fischer–Heun block
+//     decomposition) — the structure the paper cites to reach overall
+//     O(n) window generation.
+//
+// All structures answer Query(l, r) with the index of the LEFTMOST
+// minimum value in vals[l..r] (inclusive), which makes tie-breaking
+// deterministic across implementations.
+package rmq
+
+import "fmt"
+
+// RMQ answers range-minimum queries over a fixed array.
+type RMQ interface {
+	// Query returns the index of the leftmost minimum in [l, r]
+	// (both inclusive). It panics if the range is invalid.
+	Query(l, r int) int
+	// Len returns the length of the underlying array.
+	Len() int
+}
+
+func checkRange(l, r, n int) {
+	if l < 0 || r >= n || l > r {
+		panic(fmt.Sprintf("rmq: invalid range [%d, %d] for length %d", l, r, n))
+	}
+}
+
+// argminScan returns the index of the leftmost minimum of vals[l..r] by
+// linear scan. Shared by tests and small-range fallbacks.
+func argminScan(vals []uint64, l, r int) int {
+	best := l
+	for i := l + 1; i <= r; i++ {
+		if vals[i] < vals[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,219 @@
+package rmq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// builders enumerates all RMQ implementations under test.
+var builders = []struct {
+	name  string
+	build func([]uint64) RMQ
+}{
+	{"Sparse", func(v []uint64) RMQ { return NewSparse(v) }},
+	{"SegmentTree", func(v []uint64) RMQ { return NewSegmentTree(v) }},
+	{"Linear", func(v []uint64) RMQ { return NewLinear(v) }},
+}
+
+func TestSingleElement(t *testing.T) {
+	for _, b := range builders {
+		r := b.build([]uint64{42})
+		if r.Len() != 1 {
+			t.Errorf("%s: Len = %d, want 1", b.name, r.Len())
+		}
+		if got := r.Query(0, 0); got != 0 {
+			t.Errorf("%s: Query(0,0) = %d, want 0", b.name, got)
+		}
+	}
+}
+
+func TestAllRangesSmall(t *testing.T) {
+	// Exhaustively check every range of several fixed arrays, including
+	// arrays with many ties.
+	arrays := [][]uint64{
+		{5},
+		{2, 1},
+		{1, 2},
+		{3, 3, 3, 3},
+		{9, 1, 8, 1, 7, 1, 6},
+		{1, 2, 3, 4, 5, 6, 7, 8},
+		{8, 7, 6, 5, 4, 3, 2, 1},
+		{5, 5, 1, 5, 5, 1, 5, 5, 1},
+		{0, 18446744073709551615, 0, 18446744073709551615},
+	}
+	for _, vals := range arrays {
+		for _, b := range builders {
+			r := b.build(append([]uint64{}, vals...))
+			for l := 0; l < len(vals); l++ {
+				for rr := l; rr < len(vals); rr++ {
+					want := argminScan(vals, l, rr)
+					if got := r.Query(l, rr); got != want {
+						t.Fatalf("%s: vals=%v Query(%d,%d) = %d, want %d",
+							b.name, vals, l, rr, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAllRangesRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(200)
+		vals := make([]uint64, n)
+		// Small value domain to force many ties.
+		domain := uint64(1 + rng.Intn(10))
+		for i := range vals {
+			vals[i] = rng.Uint64() % domain
+		}
+		rmqs := make([]RMQ, len(builders))
+		for i, b := range builders {
+			rmqs[i] = b.build(vals)
+		}
+		for l := 0; l < n; l++ {
+			for r := l; r < n; r++ {
+				want := argminScan(vals, l, r)
+				for i, b := range builders {
+					if got := rmqs[i].Query(l, r); got != want {
+						t.Fatalf("trial %d %s: Query(%d,%d) = %d, want %d (vals=%v)",
+							trial, b.name, l, r, got, want, vals)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLargeRandomSpotChecks(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n := 50000
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = rng.Uint64()
+	}
+	rmqs := make([]RMQ, len(builders))
+	for i, b := range builders {
+		rmqs[i] = b.build(vals)
+	}
+	for q := 0; q < 5000; q++ {
+		l := rng.Intn(n)
+		r := l + rng.Intn(n-l)
+		want := argminScan(vals, l, r)
+		for i, b := range builders {
+			if got := rmqs[i].Query(l, r); got != want {
+				t.Fatalf("%s: Query(%d,%d) = %d, want %d", b.name, l, r, got, want)
+			}
+		}
+	}
+}
+
+func TestImplementationsAgree(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]uint64, len(raw))
+		for i, v := range raw {
+			vals[i] = uint64(v % 50) // force ties
+		}
+		sp := NewSparse(vals)
+		st := NewSegmentTree(vals)
+		li := NewLinear(vals)
+		rng := rand.New(rand.NewSource(int64(len(vals))))
+		for q := 0; q < 30; q++ {
+			l := rng.Intn(len(vals))
+			r := l + rng.Intn(len(vals)-l)
+			a, b, c := sp.Query(l, r), st.Query(l, r), li.Query(l, r)
+			if a != b || b != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvalidRangePanics(t *testing.T) {
+	for _, b := range builders {
+		r := b.build([]uint64{1, 2, 3})
+		for _, bad := range [][2]int{{-1, 0}, {0, 3}, {2, 1}} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("%s: Query(%d,%d) should panic", b.name, bad[0], bad[1])
+					}
+				}()
+				r.Query(bad[0], bad[1])
+			}()
+		}
+	}
+}
+
+func TestBallotSignatureDistinguishesShapes(t *testing.T) {
+	// Different comparison structures must produce different signatures.
+	a := ballotSignature([]uint64{1, 2, 3})
+	b := ballotSignature([]uint64{3, 2, 1})
+	c := ballotSignature([]uint64{2, 1, 3})
+	if a == b || a == c || b == c {
+		t.Fatalf("signatures should differ: %b %b %b", a, b, c)
+	}
+	// Same shape, different values: same signature.
+	d := ballotSignature([]uint64{10, 20, 30})
+	if a != d {
+		t.Fatalf("equal-shape blocks got different signatures: %b vs %b", a, d)
+	}
+	// Ties: equal run behaves like increasing (leftmost-min convention).
+	e := ballotSignature([]uint64{7, 7, 7})
+	if e != a {
+		t.Fatalf("all-equal block should share shape with increasing block: %b vs %b", e, a)
+	}
+}
+
+func benchRMQ(b *testing.B, build func([]uint64) RMQ) {
+	rng := rand.New(rand.NewSource(3))
+	n := 1 << 16
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = rng.Uint64()
+	}
+	r := build(vals)
+	queries := make([][2]int, 1024)
+	for i := range queries {
+		l := rng.Intn(n)
+		queries[i] = [2]int{l, l + rng.Intn(n-l)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		_ = r.Query(q[0], q[1])
+	}
+}
+
+func BenchmarkQuerySparse(b *testing.B) { benchRMQ(b, func(v []uint64) RMQ { return NewSparse(v) }) }
+func BenchmarkQuerySegmentTree(b *testing.B) {
+	benchRMQ(b, func(v []uint64) RMQ { return NewSegmentTree(v) })
+}
+func BenchmarkQueryLinear(b *testing.B) { benchRMQ(b, func(v []uint64) RMQ { return NewLinear(v) }) }
+
+func benchBuild(b *testing.B, build func([]uint64) RMQ) {
+	rng := rand.New(rand.NewSource(3))
+	n := 1 << 16
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = rng.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = build(vals)
+	}
+}
+
+func BenchmarkBuildSparse(b *testing.B) { benchBuild(b, func(v []uint64) RMQ { return NewSparse(v) }) }
+func BenchmarkBuildSegmentTree(b *testing.B) {
+	benchBuild(b, func(v []uint64) RMQ { return NewSegmentTree(v) })
+}
+func BenchmarkBuildLinear(b *testing.B) { benchBuild(b, func(v []uint64) RMQ { return NewLinear(v) }) }

@@ -1,0 +1,67 @@
+package rmq
+
+// SegmentTree is a binary segment tree RMQ: O(n) build, O(log n) query.
+// This is the structure used by ALIGN; the paper replaces it with an
+// O(1)-query structure to reach linear total window-generation time. It
+// is kept as an ablation baseline.
+type SegmentTree struct {
+	vals []uint64
+	n    int
+	// tree[v] is the index of the leftmost minimum in node v's range.
+	tree []int32
+}
+
+// NewSegmentTree builds a segment tree over vals. The slice is retained,
+// not copied.
+func NewSegmentTree(vals []uint64) *SegmentTree {
+	n := len(vals)
+	st := &SegmentTree{vals: vals, n: n}
+	if n == 0 {
+		return st
+	}
+	st.tree = make([]int32, 4*n)
+	st.build(1, 0, n-1)
+	return st
+}
+
+func (st *SegmentTree) build(v, l, r int) {
+	if l == r {
+		st.tree[v] = int32(l)
+		return
+	}
+	mid := (l + r) / 2
+	st.build(2*v, l, mid)
+	st.build(2*v+1, mid+1, r)
+	st.tree[v] = st.merge(st.tree[2*v], st.tree[2*v+1])
+}
+
+// merge picks the leftmost-minimum index of two candidates.
+func (st *SegmentTree) merge(a, b int32) int32 {
+	if st.vals[b] < st.vals[a] {
+		return b
+	}
+	return a // vals[a] <= vals[b]; a is leftward when they tie
+}
+
+// Len returns the length of the underlying array.
+func (st *SegmentTree) Len() int { return st.n }
+
+// Query returns the index of the leftmost minimum in [l, r].
+func (st *SegmentTree) Query(l, r int) int {
+	checkRange(l, r, st.n)
+	return int(st.query(1, 0, st.n-1, l, r))
+}
+
+func (st *SegmentTree) query(v, nl, nr, l, r int) int32 {
+	if l <= nl && nr <= r {
+		return st.tree[v]
+	}
+	mid := (nl + nr) / 2
+	if r <= mid {
+		return st.query(2*v, nl, mid, l, r)
+	}
+	if l > mid {
+		return st.query(2*v+1, mid+1, nr, l, r)
+	}
+	return st.merge(st.query(2*v, nl, mid, l, r), st.query(2*v+1, mid+1, nr, l, r))
+}

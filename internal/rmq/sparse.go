@@ -1,0 +1,67 @@
+package rmq
+
+import "math/bits"
+
+// Sparse is a classic sparse-table RMQ: O(n log n) preprocessing and
+// space, O(1) queries.
+type Sparse struct {
+	vals []uint64
+	// table[j][i] is the index of the leftmost minimum in
+	// vals[i .. i+2^j-1].
+	table [][]int32
+}
+
+// NewSparse builds a sparse table over vals. The slice is retained, not
+// copied; callers must not mutate it afterwards.
+func NewSparse(vals []uint64) *Sparse {
+	n := len(vals)
+	levels := 1
+	if n > 1 {
+		levels = bits.Len(uint(n)) // floor(log2(n)) + 1
+	}
+	table := make([][]int32, levels)
+	table[0] = make([]int32, n)
+	for i := range table[0] {
+		table[0][i] = int32(i)
+	}
+	for j := 1; j < levels; j++ {
+		width := 1 << j
+		row := make([]int32, n-width+1)
+		prev := table[j-1]
+		half := width / 2
+		for i := range row {
+			a, b := prev[i], prev[i+half]
+			if vals[b] < vals[a] {
+				row[i] = b
+			} else {
+				row[i] = a // ties go left
+			}
+		}
+		table[j] = row
+	}
+	return &Sparse{vals: vals, table: table}
+}
+
+// Len returns the length of the underlying array.
+func (s *Sparse) Len() int { return len(s.vals) }
+
+// Query returns the index of the leftmost minimum in [l, r].
+func (s *Sparse) Query(l, r int) int {
+	checkRange(l, r, len(s.vals))
+	if l == r {
+		return l
+	}
+	j := bits.Len(uint(r-l+1)) - 1
+	a := s.table[j][l]
+	b := s.table[j][r-(1<<j)+1]
+	if s.vals[b] < s.vals[a] {
+		return int(b)
+	}
+	if s.vals[a] < s.vals[b] {
+		return int(a)
+	}
+	if a < b {
+		return int(a)
+	}
+	return int(b)
+}

@@ -1,0 +1,48 @@
+package search
+
+import "sync"
+
+// BatchResult is one query's outcome in a SearchBatch call.
+type BatchResult struct {
+	Matches []Match
+	Stats   *Stats
+	Err     error
+}
+
+// SearchBatch runs many queries concurrently over a worker pool and
+// returns results in query order. The index is safe for concurrent
+// readers; parallelism <= 1 degenerates to a sequential loop.
+//
+// Caveat: Stats.IOBytes/IOTime are derived from index-wide counters and
+// are only attributable to individual queries when they run alone, so
+// under parallelism > 1 each query's Stats reports the batch-wide delta
+// it happened to observe. Timing totals (Stats.Total) remain accurate.
+func (s *Searcher) SearchBatch(queries [][]uint32, opts Options, parallelism int) []BatchResult {
+	out := make([]BatchResult, len(queries))
+	if parallelism <= 1 {
+		for i, q := range queries {
+			out[i].Matches, out[i].Stats, out[i].Err = s.Search(q, opts)
+		}
+		return out
+	}
+	if parallelism > len(queries) {
+		parallelism = len(queries)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i].Matches, out[i].Stats, out[i].Err = s.Search(queries[i], opts)
+			}
+		}()
+	}
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}

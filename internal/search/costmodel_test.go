@@ -1,0 +1,152 @@
+package search
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ndss/internal/corpus"
+)
+
+func TestChooseDeferralBasics(t *testing.T) {
+	m := DefaultCostModel()
+	// No lists.
+	if got := ChooseDeferral(nil, 5, m); len(got) != 0 {
+		t.Fatalf("empty input: %v", got)
+	}
+	// Uniform tiny lists: nothing worth deferring.
+	small := []int{2, 3, 2, 1, 3, 2, 2, 1}
+	got := ChooseDeferral(small, 6, m)
+	for i, d := range got {
+		if d {
+			t.Fatalf("tiny list %d deferred: %v", i, got)
+		}
+	}
+	// One giant list among tiny ones: the giant gets deferred.
+	skew := []int{2, 3, 1000000, 1, 3, 2, 2, 1}
+	got = ChooseDeferral(skew, 6, m)
+	if !got[2] {
+		t.Fatalf("giant list not deferred: %v", got)
+	}
+	for i, d := range got {
+		if i != 2 && d {
+			t.Fatalf("small list %d deferred alongside: %v", i, got)
+		}
+	}
+}
+
+func TestChooseDeferralRespectsBeta(t *testing.T) {
+	m := DefaultCostModel()
+	lengths := []int{1e6, 1e6, 1e6, 1e6, 1e6, 1e6, 1e6, 1e6}
+	for beta := 1; beta <= 8; beta++ {
+		got := ChooseDeferral(lengths, beta, m)
+		deferred := 0
+		for _, d := range got {
+			if d {
+				deferred++
+			}
+		}
+		if deferred > beta-1 {
+			t.Fatalf("beta=%d: deferred %d lists", beta, deferred)
+		}
+	}
+	// beta=1 can never defer.
+	got := ChooseDeferral(lengths, 1, m)
+	for _, d := range got {
+		if d {
+			t.Fatal("beta=1 deferred a list")
+		}
+	}
+}
+
+func TestChooseDeferralPrefersLongest(t *testing.T) {
+	m := DefaultCostModel()
+	lengths := []int{10, 500000, 20, 800000, 30, 5}
+	got := ChooseDeferral(lengths, 4, m)
+	// Whatever the count, deferral must take the longest lists first:
+	// a deferred list may not be shorter than a non-deferred one.
+	minDeferred := int(^uint(0) >> 1)
+	maxKept := -1
+	for i, d := range got {
+		if d && lengths[i] < minDeferred {
+			minDeferred = lengths[i]
+		}
+		if !d && lengths[i] > maxKept {
+			maxKept = lengths[i]
+		}
+	}
+	if minDeferred < maxKept {
+		t.Fatalf("deferred a shorter list (%d) while keeping a longer one (%d): %v",
+			minDeferred, maxKept, got)
+	}
+}
+
+// TestCostBasedPrefixEquivalence: the cost-based deferral must return
+// exactly the same matches as the unfiltered search.
+func TestCostBasedPrefixEquivalence(t *testing.T) {
+	c := smallDupCorpus(25, 20, 70, 25, 123)
+	ix := buildTestIndex(t, c, 8, 45, 5, 4, 8)
+	s := New(ix, c)
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 8; trial++ {
+		q, _, _, ok := corpus.PlantQuery(c, 10, 0.2, 25, rng)
+		if !ok {
+			continue
+		}
+		theta := []float64{0.4, 0.6, 0.8, 1.0}[trial%4]
+		base, _, err := s.Search(q, Options{Theta: theta})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := s.Search(q, Options{Theta: theta, CostBasedPrefix: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(matchesToSpans(got), matchesToSpans(base)) {
+			t.Fatalf("trial %d theta %v: cost-based result differs", trial, theta)
+		}
+	}
+}
+
+func TestSearchBatchOrderAndParallel(t *testing.T) {
+	c := smallDupCorpus(20, 20, 60, 30, 131)
+	ix := buildTestIndex(t, c, 8, 47, 5, 0, 0)
+	s := New(ix, c)
+	rng := rand.New(rand.NewSource(15))
+	var queries [][]uint32
+	for len(queries) < 12 {
+		if q, _, _, ok := corpus.PlantQuery(c, 10, 0.1, 30, rng); ok {
+			queries = append(queries, q)
+		}
+	}
+	seq := s.SearchBatch(queries, Options{Theta: 0.6}, 1)
+	par := s.SearchBatch(queries, Options{Theta: 0.6}, 4)
+	if len(seq) != len(queries) || len(par) != len(queries) {
+		t.Fatal("result count mismatch")
+	}
+	for i := range seq {
+		if seq[i].Err != nil || par[i].Err != nil {
+			t.Fatalf("errors: %v %v", seq[i].Err, par[i].Err)
+		}
+		if !reflect.DeepEqual(matchesToSpans(seq[i].Matches), matchesToSpans(par[i].Matches)) {
+			t.Fatalf("query %d: parallel result differs", i)
+		}
+	}
+	// Errors propagate per query.
+	bad := s.SearchBatch([][]uint32{nil, queries[0]}, Options{Theta: 0.6}, 2)
+	if bad[0].Err == nil {
+		t.Fatal("empty query should error")
+	}
+	if bad[1].Err != nil {
+		t.Fatalf("valid query errored: %v", bad[1].Err)
+	}
+}
+
+func TestSearchBatchEmpty(t *testing.T) {
+	c := smallDupCorpus(5, 20, 40, 30, 7)
+	ix := buildTestIndex(t, c, 4, 49, 5, 0, 0)
+	s := New(ix, c)
+	if got := s.SearchBatch(nil, Options{Theta: 0.5}, 4); len(got) != 0 {
+		t.Fatalf("empty batch: %v", got)
+	}
+}

@@ -1,0 +1,106 @@
+package search
+
+import (
+	"testing"
+
+	"ndss/internal/index"
+)
+
+// FuzzIntervalScan checks the sweep against a per-position oracle for
+// arbitrary interval sets.
+func FuzzIntervalScan(f *testing.F) {
+	f.Add([]byte{1, 3, 2, 5, 4, 6}, uint8(2))
+	f.Add([]byte{0, 0, 0, 0}, uint8(1))
+	f.Add([]byte{}, uint8(1))
+	f.Fuzz(func(t *testing.T, raw []byte, aRaw uint8) {
+		if len(raw) > 24 {
+			raw = raw[:24]
+		}
+		var ivs []Interval
+		for i := 0; i+1 < len(raw); i += 2 {
+			lo := int32(raw[i] % 32)
+			ivs = append(ivs, Interval{Lo: lo, Hi: lo + int32(raw[i+1]%8)})
+		}
+		alpha := int(aRaw%4) + 1
+		got := IntervalScan(ivs, alpha)
+		seen := map[int32]int{}
+		for _, ov := range got {
+			if len(ov.Members) < alpha {
+				t.Fatalf("reported subset of size %d < alpha %d", len(ov.Members), alpha)
+			}
+			if ov.Seg.Empty() {
+				t.Fatalf("empty segment reported: %+v", ov)
+			}
+			for p := ov.Seg.Lo; p <= ov.Seg.Hi; p++ {
+				seen[p]++
+				if seen[p] > 1 {
+					t.Fatalf("position %d reported twice", p)
+				}
+				// Member set must be exactly the intervals covering p.
+				want := 0
+				for _, iv := range ivs {
+					if iv.Lo <= p && p <= iv.Hi {
+						want++
+					}
+				}
+				if want != len(ov.Members) {
+					t.Fatalf("position %d: %d members, %d covering intervals", p, len(ov.Members), want)
+				}
+			}
+		}
+		// Completeness: every position covered by >= alpha intervals is
+		// in some reported segment.
+		for p := int32(0); p < 48; p++ {
+			cover := 0
+			for _, iv := range ivs {
+				if iv.Lo <= p && p <= iv.Hi {
+					cover++
+				}
+			}
+			if cover >= alpha && seen[p] == 0 {
+				t.Fatalf("position %d covered %d times but unreported", p, cover)
+			}
+		}
+	})
+}
+
+// FuzzCollisionCount checks rectangle counts against the brute-force
+// oracle for arbitrary window groups.
+func FuzzCollisionCount(f *testing.F) {
+	f.Add([]byte{0, 2, 4, 1, 3, 5}, uint8(2))
+	f.Add([]byte{0, 0, 0}, uint8(1))
+	f.Fuzz(func(t *testing.T, raw []byte, aRaw uint8) {
+		if len(raw) > 18 {
+			raw = raw[:18]
+		}
+		var ws []index.Posting
+		for i := 0; i+2 < len(raw); i += 3 {
+			l := uint32(raw[i] % 16)
+			c := l + uint32(raw[i+1]%8)
+			r := c + uint32(raw[i+2]%8)
+			ws = append(ws, index.Posting{TextID: 0, L: l, C: c, R: r})
+		}
+		alpha := int(aRaw%3) + 1
+		rects := CollisionCount(ws, alpha)
+		for i := int32(0); i < 36; i++ {
+			for j := i; j < 36; j++ {
+				want := collisionCountOfSequence(ws, i, j)
+				hits := 0
+				for _, r := range rects {
+					if r.Contains(i, j) {
+						hits++
+						if r.Count != want {
+							t.Fatalf("seq [%d,%d]: rect count %d, oracle %d", i, j, r.Count, want)
+						}
+					}
+				}
+				if want >= alpha && hits != 1 {
+					t.Fatalf("seq [%d,%d] with count %d in %d rects", i, j, want, hits)
+				}
+				if want < alpha && hits != 0 {
+					t.Fatalf("seq [%d,%d] below alpha but reported", i, j)
+				}
+			}
+		}
+	})
+}

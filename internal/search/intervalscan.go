@@ -1,0 +1,85 @@
+// Package search implements the paper's query processing (§3.5):
+// IntervalScan (Algorithm 5), CollisionCount (Algorithm 4) and
+// NearDuplicateSearch with prefix filtering and zone-map probes
+// (Algorithm 3), plus result merging and optional exact-Jaccard
+// verification.
+package search
+
+import "sort"
+
+// Interval is a closed integer interval [Lo, Hi].
+type Interval struct {
+	Lo, Hi int32
+}
+
+// Empty reports whether the interval contains no points.
+func (iv Interval) Empty() bool { return iv.Lo > iv.Hi }
+
+// Overlap is one result of IntervalScan: the set of input intervals
+// (identified by their indices) that all cover the segment Seg, which is
+// a maximal segment on which the covering set stays constant.
+type Overlap struct {
+	Members []int32
+	Seg     Interval
+}
+
+// IntervalScan sweeps a collection of intervals and reports, for every
+// maximal segment covered by at least alpha intervals, the covering
+// subset and the segment (Algorithm 5). Each position is part of at most
+// one reported segment, and the covering set reported for it is exactly
+// the set of intervals containing it.
+func IntervalScan(intervals []Interval, alpha int) []Overlap {
+	if alpha < 1 {
+		alpha = 1
+	}
+	if len(intervals) < alpha {
+		return nil
+	}
+	// Endpoint events: interval [lo, hi] starts at lo and exits at hi+1.
+	type event struct {
+		pos   int32
+		start bool
+		idx   int32
+	}
+	events := make([]event, 0, 2*len(intervals))
+	for i, iv := range intervals {
+		if iv.Empty() {
+			continue
+		}
+		events = append(events, event{pos: iv.Lo, start: true, idx: int32(i)})
+		events = append(events, event{pos: iv.Hi + 1, start: false, idx: int32(i)})
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	var out []Overlap
+	active := make([]int32, 0, len(intervals))
+	remove := func(idx int32) {
+		for i, v := range active {
+			if v == idx {
+				active[i] = active[len(active)-1]
+				active = active[:len(active)-1]
+				return
+			}
+		}
+	}
+	for e := 0; e < len(events); {
+		pos := events[e].pos
+		for e < len(events) && events[e].pos == pos {
+			if events[e].start {
+				active = append(active, events[e].idx)
+			} else {
+				remove(events[e].idx)
+			}
+			e++
+		}
+		if len(active) >= alpha && e < len(events) {
+			members := make([]int32, len(active))
+			copy(members, active)
+			out = append(out, Overlap{
+				Members: members,
+				Seg:     Interval{Lo: pos, Hi: events[e].pos - 1},
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,398 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"ndss/internal/hash"
+	"ndss/internal/index"
+)
+
+// TextSource resolves a text id to its token sequence. *corpus.Corpus
+// and *corpus.Reader both satisfy it. It is only needed for
+// verification; a Searcher with a nil source answers unverified queries.
+type TextSource interface {
+	ReadText(id uint32) ([]uint32, error)
+}
+
+// IndexReader is the index access surface the query processor needs.
+// *index.Index (on-disk) and *index.MemIndex (in-memory) both satisfy
+// it.
+type IndexReader interface {
+	K() int
+	Meta() index.Meta
+	Family() *hash.Family
+	ListLength(fn int, h uint64) int
+	ListLengths(fn int) []int
+	ReadList(fn int, h uint64) ([]index.Posting, error)
+	ReadListForText(fn int, h uint64, textID uint32) ([]index.Posting, error)
+	IOStats() index.IOStats
+}
+
+// Options configures one search.
+type Options struct {
+	// Theta is the Jaccard similarity threshold in (0, 1]. A sequence
+	// qualifies when it shares at least ceil(K*Theta) of the K min-hash
+	// values with the query (Definition 2).
+	Theta float64
+	// MinLength overrides the minimum reported sequence length. It must
+	// be at least the index's length threshold T; zero means T.
+	MinLength int
+	// PrefixFilter defers lists longer than LongListThreshold: they are
+	// probed per candidate text through zone maps instead of being read
+	// fully (§3.5).
+	PrefixFilter bool
+	// LongListThreshold is the posting count above which a list is
+	// considered long. Zero selects the searcher's default cutoff.
+	LongListThreshold int
+	// CostBasedPrefix replaces the fixed cutoff with a per-query cost
+	// model (ChooseDeferral) deciding which lists to defer. Implies
+	// PrefixFilter.
+	CostBasedPrefix bool
+	// Verify computes the exact distinct Jaccard similarity between the
+	// query and each reported span (requires a TextSource).
+	Verify bool
+	// KeepRects retains the raw collision rectangles on each match for
+	// callers that need exact sequence enumeration.
+	KeepRects bool
+}
+
+// Match is one reported near-duplicate region: the merged span of
+// overlapping qualifying sequences in one text (the paper's Remark
+// merges overlapping near-duplicates so reports are disjoint).
+type Match struct {
+	TextID uint32
+	// Start and End delimit the merged span, 0-based inclusive.
+	Start, End int32
+	// Collisions is the best (maximum) min-hash collision count among
+	// the merged sequences.
+	Collisions int
+	// EstJaccard is Collisions / K, the estimated Jaccard similarity.
+	EstJaccard float64
+	// Jaccard is the exact distinct Jaccard similarity between the query
+	// and the span, filled only when Options.Verify is set.
+	Jaccard float64
+	// Rects holds the raw qualifying rectangles when Options.KeepRects
+	// is set.
+	Rects []Rect
+}
+
+// Stats describes one query's execution for the latency-split
+// experiments (Fig 3).
+type Stats struct {
+	K          int
+	Beta       int           // required collisions ceil(K*Theta)
+	ShortLists int           // lists loaded fully
+	LongLists  int           // lists deferred to zone-map probes
+	Candidates int           // texts surviving the short-list filter
+	Probed     int           // texts probed in long lists
+	Rects      int           // qualifying rectangles
+	Matches    int           // merged spans reported
+	IOBytes    int64         // bytes read from the index
+	IOTime     time.Duration // time spent in index reads
+	CPUTime    time.Duration // Total minus IOTime
+	Total      time.Duration
+}
+
+// Searcher answers near-duplicate sequence searches against an opened
+// index. It is safe for sequential use; the I/O split in Stats is
+// computed from index-wide counters and is only meaningful when queries
+// do not run concurrently.
+type Searcher struct {
+	ix            IndexReader
+	src           TextSource
+	defaultCutoff int
+}
+
+// New creates a Searcher. src may be nil if verification is never
+// requested.
+func New(ix IndexReader, src TextSource) *Searcher {
+	return &Searcher{
+		ix:            ix,
+		src:           src,
+		defaultCutoff: CutoffForTopFraction(ix, 0.10),
+	}
+}
+
+// CutoffForTopFraction returns a list-length threshold such that
+// roughly the given fraction of inverted lists (the longest ones — the
+// "prefix" of most frequent tokens) exceed it. Fig 3(d) sweeps this
+// fraction from 5% to 20%.
+func CutoffForTopFraction(ix IndexReader, frac float64) int {
+	var lengths []int
+	for fn := 0; fn < ix.K(); fn++ {
+		lengths = append(lengths, ix.ListLengths(fn)...)
+	}
+	if len(lengths) == 0 {
+		return 0
+	}
+	sort.Ints(lengths)
+	pos := int(float64(len(lengths)) * (1 - frac))
+	if pos >= len(lengths) {
+		pos = len(lengths) - 1
+	}
+	if pos < 0 {
+		pos = 0
+	}
+	return lengths[pos]
+}
+
+// taggedWindow is a loaded posting plus the function it came from.
+type taggedWindow struct {
+	fn int
+	p  index.Posting
+}
+
+// Search finds all near-duplicate sequences of query per opts
+// (Algorithm 3). Results are grouped per text into disjoint merged
+// spans, ordered by (TextID, Start).
+func (s *Searcher) Search(query []uint32, opts Options) ([]Match, *Stats, error) {
+	start := time.Now()
+	ioBefore := s.ix.IOStats()
+	if opts.Theta <= 0 || opts.Theta > 1 {
+		return nil, nil, fmt.Errorf("search: Theta must be in (0, 1], got %v", opts.Theta)
+	}
+	meta := s.ix.Meta()
+	minLen := opts.MinLength
+	if minLen == 0 {
+		minLen = meta.T
+	}
+	if minLen < meta.T {
+		return nil, nil, fmt.Errorf("search: MinLength %d below index length threshold %d", minLen, meta.T)
+	}
+	if len(query) == 0 {
+		return nil, nil, fmt.Errorf("search: empty query")
+	}
+	k := s.ix.K()
+	beta := int(math.Ceil(float64(k) * opts.Theta))
+	if beta < 1 {
+		beta = 1
+	}
+	st := &Stats{K: k, Beta: beta}
+
+	sketch, err := s.ix.Family().Sketch(query)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Split the k lists into short (loaded fully) and long (deferred).
+	cutoff := opts.LongListThreshold
+	if cutoff == 0 {
+		cutoff = s.defaultCutoff
+	}
+	long := make([]bool, k)
+	if opts.CostBasedPrefix {
+		lens := make([]int, k)
+		for fn := 0; fn < k; fn++ {
+			lens[fn] = s.ix.ListLength(fn, sketch[fn])
+		}
+		long = ChooseDeferral(lens, beta, DefaultCostModel())
+	} else if opts.PrefixFilter {
+		type fnLen struct{ fn, n int }
+		lens := make([]fnLen, k)
+		for fn := 0; fn < k; fn++ {
+			lens[fn] = fnLen{fn, s.ix.ListLength(fn, sketch[fn])}
+		}
+		for _, fl := range lens {
+			if fl.n > cutoff {
+				long[fl.fn] = true
+			}
+		}
+		// A candidate must appear in >= beta lists, so it must hit at
+		// least one of the (k - beta + 1) shortest. Demote the shortest
+		// deferred lists until at most beta-1 remain long, keeping the
+		// filter threshold beta - numLong positive.
+		numLong := 0
+		for _, l := range long {
+			if l {
+				numLong++
+			}
+		}
+		if numLong > beta-1 {
+			sort.Slice(lens, func(i, j int) bool { return lens[i].n < lens[j].n })
+			for _, fl := range lens {
+				if numLong <= beta-1 {
+					break
+				}
+				if long[fl.fn] {
+					long[fl.fn] = false
+					numLong--
+				}
+			}
+		}
+	}
+
+	// Load short lists and group their windows by text.
+	groups := make(map[uint32][]taggedWindow)
+	numLong := 0
+	for fn := 0; fn < k; fn++ {
+		if long[fn] {
+			numLong++
+			continue
+		}
+		st.ShortLists++
+		ps, err := s.ix.ReadList(fn, sketch[fn])
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, p := range ps {
+			groups[p.TextID] = append(groups[p.TextID], taggedWindow{fn: fn, p: p})
+		}
+	}
+	st.LongLists = numLong
+	alpha := beta - numLong
+	if alpha < 1 {
+		alpha = 1
+	}
+
+	var matches []Match
+	windows := make([]index.Posting, 0, 64)
+	for textID, group := range groups {
+		if len(group) < alpha {
+			continue
+		}
+		windows = windows[:0]
+		for _, tw := range group {
+			windows = append(windows, tw.p)
+		}
+		rects := CollisionCount(windows, alpha)
+		if len(rects) == 0 {
+			continue
+		}
+		st.Candidates++
+		if numLong > 0 {
+			// Probe the long lists for this text only (zone maps keep
+			// the read proportional to the text's postings).
+			st.Probed++
+			for fn := 0; fn < k; fn++ {
+				if !long[fn] {
+					continue
+				}
+				ps, err := s.ix.ReadListForText(fn, sketch[fn], textID)
+				if err != nil {
+					return nil, nil, err
+				}
+				windows = append(windows, ps...)
+			}
+			rects = CollisionCount(windows, beta)
+		}
+		m, ok := s.buildMatch(textID, rects, beta, minLen, opts, st)
+		if !ok {
+			continue
+		}
+		matches = append(matches, m...)
+	}
+	sort.Slice(matches, func(i, j int) bool {
+		if matches[i].TextID != matches[j].TextID {
+			return matches[i].TextID < matches[j].TextID
+		}
+		return matches[i].Start < matches[j].Start
+	})
+	if opts.Verify {
+		if err := s.verify(query, matches); err != nil {
+			return nil, nil, err
+		}
+	}
+	st.Matches = len(matches)
+	ioAfter := s.ix.IOStats()
+	st.IOBytes = ioAfter.BytesRead - ioBefore.BytesRead
+	st.IOTime = ioAfter.ReadTime - ioBefore.ReadTime
+	st.Total = time.Since(start)
+	st.CPUTime = st.Total - st.IOTime
+	return matches, st, nil
+}
+
+// buildMatch filters rectangles to those holding a qualifying sequence
+// (count >= beta and a sequence of length >= minLen) and merges their
+// spans into disjoint matches.
+func (s *Searcher) buildMatch(textID uint32, rects []Rect, beta, minLen int, opts Options, st *Stats) ([]Match, bool) {
+	type spanRect struct {
+		span Interval
+		rect Rect
+	}
+	var qual []spanRect
+	for _, r := range rects {
+		if r.Count < beta || !r.HasSequenceOfLength(minLen) {
+			continue
+		}
+		qual = append(qual, spanRect{span: r.Span(), rect: r})
+	}
+	if len(qual) == 0 {
+		return nil, false
+	}
+	st.Rects += len(qual)
+	sort.Slice(qual, func(i, j int) bool { return qual[i].span.Lo < qual[j].span.Lo })
+	var out []Match
+	cur := Match{TextID: textID, Start: qual[0].span.Lo, End: qual[0].span.Hi, Collisions: qual[0].rect.Count}
+	if opts.KeepRects {
+		cur.Rects = []Rect{qual[0].rect}
+	}
+	for _, q := range qual[1:] {
+		if q.span.Lo <= cur.End { // overlapping: merge
+			if q.span.Hi > cur.End {
+				cur.End = q.span.Hi
+			}
+			if q.rect.Count > cur.Collisions {
+				cur.Collisions = q.rect.Count
+			}
+			if opts.KeepRects {
+				cur.Rects = append(cur.Rects, q.rect)
+			}
+		} else {
+			cur.EstJaccard = float64(cur.Collisions) / float64(st.K)
+			out = append(out, cur)
+			cur = Match{TextID: textID, Start: q.span.Lo, End: q.span.Hi, Collisions: q.rect.Count}
+			if opts.KeepRects {
+				cur.Rects = []Rect{q.rect}
+			}
+		}
+	}
+	cur.EstJaccard = float64(cur.Collisions) / float64(st.K)
+	out = append(out, cur)
+	return out, true
+}
+
+// verify fills Match.Jaccard with the exact distinct Jaccard similarity
+// between the query and each merged span.
+func (s *Searcher) verify(query []uint32, matches []Match) error {
+	if len(matches) == 0 {
+		return nil
+	}
+	if s.src == nil {
+		return fmt.Errorf("search: Verify requires a TextSource")
+	}
+	for i := range matches {
+		m := &matches[i]
+		text, err := s.src.ReadText(m.TextID)
+		if err != nil {
+			return fmt.Errorf("search: verify text %d: %w", m.TextID, err)
+		}
+		if int(m.End) >= len(text) {
+			return fmt.Errorf("search: match span [%d, %d] exceeds text %d length %d",
+				m.Start, m.End, m.TextID, len(text))
+		}
+		matches[i].Jaccard = hash.DistinctJaccard(query, text[m.Start:m.End+1])
+	}
+	return nil
+}
+
+// EnumerateSequences expands a rectangle into the concrete (start, end)
+// pairs of length >= minLen it contains, calling fn for each. It stops
+// early if fn returns false. This realizes Algorithm 3's final
+// enumeration for callers that need individual sequences rather than
+// merged spans.
+func EnumerateSequences(r Rect, minLen int, fn func(i, j int32) bool) {
+	for i := r.ILo; i <= r.IHi; i++ {
+		jLo := r.JLo
+		if need := i + int32(minLen) - 1; jLo < need {
+			jLo = need
+		}
+		for j := jLo; j <= r.JHi; j++ {
+			if !fn(i, j) {
+				return
+			}
+		}
+	}
+}

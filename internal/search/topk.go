@@ -1,0 +1,57 @@
+package search
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TopKOptions configures SearchTopK.
+type TopKOptions struct {
+	// N is the number of spans to return.
+	N int
+	// FloorTheta bounds the candidate sweep from below: spans whose
+	// estimated similarity falls under it are never considered. Lower
+	// values see more candidates but cost more. Defaults to 0.5.
+	FloorTheta float64
+	// Search carries through the underlying query options (prefix
+	// filtering etc.); Theta is overridden by the sweep.
+	Search Options
+}
+
+// SearchTopK returns the up-to-N near-duplicate spans with the highest
+// estimated Jaccard similarity, ordered best-first (ties by text id and
+// position). It runs one search at FloorTheta and ranks the merged
+// spans by their collision counts, so its cost equals a single
+// low-threshold query.
+func (s *Searcher) SearchTopK(query []uint32, opts TopKOptions) ([]Match, *Stats, error) {
+	if opts.N <= 0 {
+		return nil, nil, fmt.Errorf("search: TopK N must be positive, got %d", opts.N)
+	}
+	floor := opts.FloorTheta
+	if floor == 0 {
+		floor = 0.5
+	}
+	if floor <= 0 || floor > 1 {
+		return nil, nil, fmt.Errorf("search: FloorTheta must be in (0, 1], got %v", floor)
+	}
+	sOpts := opts.Search
+	sOpts.Theta = floor
+	matches, st, err := s.Search(query, sOpts)
+	if err != nil {
+		return nil, nil, err
+	}
+	sort.Slice(matches, func(i, j int) bool {
+		if matches[i].Collisions != matches[j].Collisions {
+			return matches[i].Collisions > matches[j].Collisions
+		}
+		if matches[i].TextID != matches[j].TextID {
+			return matches[i].TextID < matches[j].TextID
+		}
+		return matches[i].Start < matches[j].Start
+	})
+	if len(matches) > opts.N {
+		matches = matches[:opts.N]
+	}
+	st.Matches = len(matches)
+	return matches, st, nil
+}

@@ -1,0 +1,76 @@
+package search
+
+import (
+	"testing"
+
+	"ndss/internal/corpus"
+)
+
+func TestSearchTopK(t *testing.T) {
+	// Three texts carrying copies of a passage with 0, 2 and 5 edits:
+	// top-k must rank them in that order.
+	base := make([]uint32, 40)
+	for i := range base {
+		base[i] = uint32(100 + i)
+	}
+	exact := append([]uint32{}, base...)
+	twoEdits := append([]uint32{}, base...)
+	twoEdits[5], twoEdits[20] = 9001, 9002
+	fiveEdits := append([]uint32{}, base...)
+	for i, p := range []int{3, 11, 19, 27, 35} {
+		fiveEdits[p] = uint32(9100 + i)
+	}
+	noise := make([]uint32, 40)
+	for i := range noise {
+		noise[i] = uint32(5000 + i)
+	}
+	c := corpus.New([][]uint32{exact, twoEdits, fiveEdits, noise})
+	ix := buildTestIndex(t, c, 32, 61, 10, 0, 0)
+	s := New(ix, c)
+
+	ms, st, err := s.SearchTopK(base, TopKOptions{N: 2, FloorTheta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Matches != len(ms) {
+		t.Fatalf("stats.Matches = %d, len = %d", st.Matches, len(ms))
+	}
+	if len(ms) != 2 {
+		t.Fatalf("got %d matches, want 2", len(ms))
+	}
+	if ms[0].TextID != 0 || ms[1].TextID != 1 {
+		t.Fatalf("ranking wrong: %+v", ms)
+	}
+	if ms[0].Collisions < ms[1].Collisions {
+		t.Fatalf("not sorted by collisions: %+v", ms)
+	}
+
+	// N larger than available returns everything above the floor.
+	all, _, err := s.SearchTopK(base, TopKOptions{N: 100, FloorTheta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[uint32]bool{}
+	for _, m := range all {
+		ids[m.TextID] = true
+	}
+	if !ids[0] || !ids[1] || ids[3] {
+		t.Fatalf("unexpected result set: %+v", all)
+	}
+}
+
+func TestSearchTopKValidation(t *testing.T) {
+	c := smallDupCorpus(5, 20, 40, 30, 3)
+	ix := buildTestIndex(t, c, 4, 63, 5, 0, 0)
+	s := New(ix, c)
+	q := c.Text(0)[:10]
+	if _, _, err := s.SearchTopK(q, TopKOptions{N: 0}); err == nil {
+		t.Error("N=0 should fail")
+	}
+	if _, _, err := s.SearchTopK(q, TopKOptions{N: 5, FloorTheta: 1.5}); err == nil {
+		t.Error("FloorTheta > 1 should fail")
+	}
+	if _, _, err := s.SearchTopK(q, TopKOptions{N: 5}); err != nil {
+		t.Errorf("default floor should work: %v", err)
+	}
+}

@@ -1,0 +1,52 @@
+package token
+
+import (
+	"strings"
+	"testing"
+)
+
+var benchText = strings.Repeat(
+	"the quick brown fox jumps over the lazy dog while the cat watches from the windowsill ", 20)
+
+func BenchmarkTrainBPE(b *testing.B) {
+	texts := []string{benchText, strings.ToUpper(benchText)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainBPE(texts, 512); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBPEEncode(b *testing.B) {
+	m, err := TrainBPE([]string{benchText}, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(benchText)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Encode(benchText)
+	}
+}
+
+func BenchmarkBPEDecode(b *testing.B) {
+	m, err := TrainBPE([]string{benchText}, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := m.Encode(benchText)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Decode(ids)
+	}
+}
+
+func BenchmarkWordTokenizerEncode(b *testing.B) {
+	wt := NewWordTokenizer()
+	b.SetBytes(int64(len(benchText)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = wt.Encode(benchText)
+	}
+}

@@ -1,0 +1,246 @@
+// Package token provides tokenizer substrates: a from-scratch byte-pair
+// encoding (BPE) trainer/encoder/decoder (the paper trains a 64K BPE
+// model for OpenWebText and uses a GPT-2 style BPE for the Pile) and a
+// simple word-level tokenizer. Both produce the 32-bit token ids the
+// rest of the system operates on.
+package token
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// BPE is a byte-level byte-pair-encoding model. The initial vocabulary
+// is the 256 single bytes; training repeatedly merges the most frequent
+// adjacent symbol pair until the requested vocabulary size is reached.
+type BPE struct {
+	// merges lists the learned merges in priority order: earlier merges
+	// apply first during encoding.
+	merges []mergeRule
+	// vocab maps a symbol (a byte string produced by merges) to its
+	// token id. Ids 0..255 are the single bytes; merge i yields id 256+i.
+	vocab map[string]uint32
+	// symbols is the inverse mapping.
+	symbols []string
+	// rank maps a symbol pair to its merge priority for fast encoding.
+	rank map[symbolPair]int
+}
+
+type mergeRule struct {
+	Left  string `json:"l"`
+	Right string `json:"r"`
+}
+
+type symbolPair struct {
+	left, right string
+}
+
+// VocabSize returns the number of tokens in the model.
+func (b *BPE) VocabSize() int { return len(b.symbols) }
+
+// TrainBPE learns a BPE model of the requested vocabulary size from the
+// given texts. vocabSize must be at least 256 (the byte alphabet).
+// Training is deterministic: ties on pair frequency break
+// lexicographically.
+func TrainBPE(texts []string, vocabSize int) (*BPE, error) {
+	if vocabSize < 256 {
+		return nil, fmt.Errorf("token: vocabSize must be >= 256, got %d", vocabSize)
+	}
+	// Pre-segment into words (whitespace attaches to the following word,
+	// GPT-2 style) and count word frequencies so merge counting is
+	// proportional to distinct words.
+	wordFreq := make(map[string]int)
+	for _, text := range texts {
+		for _, w := range segmentWords(text) {
+			wordFreq[w]++
+		}
+	}
+	// Each distinct word is a mutable symbol sequence.
+	type wordState struct {
+		syms []string
+		freq int
+	}
+	words := make([]wordState, 0, len(wordFreq))
+	for w, f := range wordFreq {
+		syms := make([]string, 0, len(w))
+		for i := 0; i < len(w); i++ {
+			syms = append(syms, w[i:i+1])
+		}
+		words = append(words, wordState{syms: syms, freq: f})
+	}
+	// Deterministic processing order.
+	sort.Slice(words, func(i, j int) bool {
+		return strings.Join(words[i].syms, "") < strings.Join(words[j].syms, "")
+	})
+
+	b := &BPE{vocab: make(map[string]uint32), rank: make(map[symbolPair]int)}
+	for i := 0; i < 256; i++ {
+		s := string([]byte{byte(i)})
+		b.vocab[s] = uint32(i)
+		b.symbols = append(b.symbols, s)
+	}
+
+	for len(b.symbols) < vocabSize {
+		// Count adjacent pairs.
+		counts := make(map[symbolPair]int)
+		for _, ws := range words {
+			for i := 0; i+1 < len(ws.syms); i++ {
+				counts[symbolPair{ws.syms[i], ws.syms[i+1]}] += ws.freq
+			}
+		}
+		if len(counts) == 0 {
+			break // nothing left to merge
+		}
+		var best symbolPair
+		bestCount := -1
+		for p, c := range counts {
+			if c > bestCount || (c == bestCount && lessPair(p, best)) {
+				best, bestCount = p, c
+			}
+		}
+		if bestCount < 2 {
+			break // merging singletons gains nothing
+		}
+		merged := best.left + best.right
+		b.rank[best] = len(b.merges)
+		b.merges = append(b.merges, mergeRule{Left: best.left, Right: best.right})
+		b.vocab[merged] = uint32(len(b.symbols))
+		b.symbols = append(b.symbols, merged)
+		// Apply the merge to every word.
+		for wi := range words {
+			ws := &words[wi]
+			for i := 0; i+1 < len(ws.syms); {
+				if ws.syms[i] == best.left && ws.syms[i+1] == best.right {
+					ws.syms[i] = merged
+					ws.syms = append(ws.syms[:i+1], ws.syms[i+2:]...)
+				} else {
+					i++
+				}
+			}
+		}
+	}
+	return b, nil
+}
+
+func lessPair(a, b symbolPair) bool {
+	if a.left != b.left {
+		return a.left < b.left
+	}
+	return a.right < b.right
+}
+
+// segmentWords splits text into words, attaching each run of whitespace
+// to the word that follows it so decoding reproduces the original text.
+func segmentWords(text string) []string {
+	var words []string
+	start := 0
+	inSpace := true
+	for i := 0; i < len(text); i++ {
+		isSpace := text[i] == ' ' || text[i] == '\n' || text[i] == '\t' || text[i] == '\r'
+		if !inSpace && isSpace {
+			words = append(words, text[start:i])
+			start = i
+		}
+		inSpace = isSpace
+	}
+	if start < len(text) {
+		words = append(words, text[start:])
+	}
+	return words
+}
+
+// Encode tokenizes text into token ids.
+func (b *BPE) Encode(text string) []uint32 {
+	var out []uint32
+	for _, w := range segmentWords(text) {
+		out = b.encodeWord(out, w)
+	}
+	return out
+}
+
+// encodeWord applies merges by priority to one word and appends the ids.
+func (b *BPE) encodeWord(out []uint32, w string) []uint32 {
+	syms := make([]string, 0, len(w))
+	for i := 0; i < len(w); i++ {
+		syms = append(syms, w[i:i+1])
+	}
+	for len(syms) > 1 {
+		bestRank := int(^uint(0) >> 1)
+		bestIdx := -1
+		for i := 0; i+1 < len(syms); i++ {
+			if r, ok := b.rank[symbolPair{syms[i], syms[i+1]}]; ok && r < bestRank {
+				bestRank, bestIdx = r, i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		syms[bestIdx] += syms[bestIdx+1]
+		syms = append(syms[:bestIdx+1], syms[bestIdx+2:]...)
+	}
+	for _, s := range syms {
+		out = append(out, b.vocab[s])
+	}
+	return out
+}
+
+// Decode reconstructs the text of a token id sequence. Unknown ids
+// decode to the replacement character.
+func (b *BPE) Decode(tokens []uint32) string {
+	var sb strings.Builder
+	for _, id := range tokens {
+		if int(id) < len(b.symbols) {
+			sb.WriteString(b.symbols[id])
+		} else {
+			sb.WriteRune('�')
+		}
+	}
+	return sb.String()
+}
+
+// bpeFile is the serialization envelope.
+type bpeFile struct {
+	Version int         `json:"version"`
+	Merges  []mergeRule `json:"merges"`
+}
+
+// Save serializes the model. Only the merge list is stored; the
+// vocabulary is reconstructed on Load.
+func (b *BPE) Save(w io.Writer) error {
+	return json.NewEncoder(w).Encode(bpeFile{Version: 1, Merges: b.merges})
+}
+
+// LoadBPE deserializes a model written by Save.
+func LoadBPE(r io.Reader) (*BPE, error) {
+	var f bpeFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("token: load BPE: %w", err)
+	}
+	if f.Version != 1 {
+		return nil, fmt.Errorf("token: unsupported BPE version %d", f.Version)
+	}
+	b := &BPE{vocab: make(map[string]uint32), rank: make(map[symbolPair]int)}
+	for i := 0; i < 256; i++ {
+		s := string([]byte{byte(i)})
+		b.vocab[s] = uint32(i)
+		b.symbols = append(b.symbols, s)
+	}
+	for _, m := range f.Merges {
+		if _, ok := b.vocab[m.Left]; !ok {
+			return nil, errors.New("token: merge references unknown left symbol")
+		}
+		if _, ok := b.vocab[m.Right]; !ok {
+			return nil, errors.New("token: merge references unknown right symbol")
+		}
+		merged := m.Left + m.Right
+		b.rank[symbolPair{m.Left, m.Right}] = len(b.merges)
+		b.merges = append(b.merges, m)
+		b.vocab[merged] = uint32(len(b.symbols))
+		b.symbols = append(b.symbols, merged)
+	}
+	return b, nil
+}

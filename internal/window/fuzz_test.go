@@ -1,0 +1,68 @@
+package window
+
+import (
+	"testing"
+
+	"ndss/internal/rmq"
+)
+
+// FuzzGenerateLinear checks, for arbitrary hash arrays and thresholds:
+// (1) the stack generator and the RMQ recursion agree, (2) every window
+// is maximal and annotated with the true range minimum, and (3) the
+// windows partition all sequences of length >= t.
+func FuzzGenerateLinear(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(3))
+	f.Add([]byte{5, 5, 5, 5}, uint8(2))
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte{9, 1, 8, 1, 7, 1}, uint8(4))
+	f.Fuzz(func(t *testing.T, raw []byte, tRaw uint8) {
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		tt := int(tRaw%16) + 1
+		vals := make([]uint64, len(raw))
+		for i, b := range raw {
+			vals[i] = uint64(b % 16) // dense ties
+		}
+		ws := GenerateLinear(vals, tt, nil)
+		ref := Generate(vals, tt, func(x []uint64) rmq.RMQ { return rmq.NewSparse(x) }, nil)
+		if len(ws) != len(ref) {
+			t.Fatalf("generators disagree: %d vs %d windows", len(ws), len(ref))
+		}
+		refSet := map[Window]bool{}
+		for _, w := range ref {
+			refSet[w] = true
+		}
+		for _, w := range ws {
+			if !refSet[w] {
+				t.Fatalf("window %v missing from RMQ output", w)
+			}
+			for p := w.L; p <= w.R; p++ {
+				if vals[p] < vals[w.C] {
+					t.Fatalf("window %v not a range minimum", w)
+				}
+			}
+			if w.L > 0 && vals[w.L-1] > vals[w.C] {
+				t.Fatalf("window %v extendable left", w)
+			}
+			if int(w.R) < len(vals)-1 && vals[w.R+1] >= vals[w.C] {
+				t.Fatalf("window %v extendable right", w)
+			}
+		}
+		// Partition property over all sequences of length >= tt.
+		n := len(vals)
+		for i := 0; i < n; i++ {
+			for j := i + tt - 1; j < n; j++ {
+				covered := 0
+				for _, w := range ws {
+					if w.Contains(int32(i), int32(j)) {
+						covered++
+					}
+				}
+				if covered != 1 {
+					t.Fatalf("sequence [%d, %d] covered %d times", i, j, covered)
+				}
+			}
+		}
+	})
+}

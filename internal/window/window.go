@@ -1,0 +1,190 @@
+// Package window implements compact-window generation, the core of the
+// paper's indexing contribution (§3.3, Algorithm 2).
+//
+// A compact window (L, C, R) over a text T and hash function f
+// represents every sequence T[i..j] with L <= i <= C <= j <= R; all of
+// them share the same min-hash value f(T[C]), because T[C] holds the
+// smallest token hash in T[L..R]. Only "valid" windows — those whose
+// width R-L+1 is at least the length threshold t — are generated, and
+// every sequence of length >= t lies in exactly one generated window
+// (Theorem 1). In expectation a text with n distinct tokens yields
+// 2(n+1)/(t+1) - 1 valid windows.
+//
+// Two equivalent generators are provided:
+//
+//   - Generate: the paper's divide-and-conquer Algorithm 2 on top of a
+//     pluggable RMQ structure (O(n) total with the linear RMQ, O(n log n)
+//     with a segment tree as in ALIGN).
+//   - GenerateLinear: a monotonic-stack formulation that computes each
+//     position's maximal window directly via previous-smaller-or-equal /
+//     next-smaller bounds in O(n) worst case with no recursion.
+//
+// Positions are 0-based; L, C, R are all inclusive.
+package window
+
+import (
+	"fmt"
+
+	"ndss/internal/hash"
+	"ndss/internal/rmq"
+)
+
+// Window is a compact window (L, C, R), 0-based inclusive positions into
+// a text. Every sequence starting in [L, C] and ending in [C, R] has
+// min-hash equal to the hash of the token at C.
+type Window struct {
+	L, C, R int32
+}
+
+// Width returns the number of tokens the window spans.
+func (w Window) Width() int { return int(w.R - w.L + 1) }
+
+// Contains reports whether the sequence [i, j] is represented by w.
+func (w Window) Contains(i, j int32) bool {
+	return w.L <= i && i <= w.C && w.C <= j && j <= w.R
+}
+
+// Count returns the number of sequences represented by w: sequences may
+// start anywhere in [L, C] and end anywhere in [C, R].
+func (w Window) Count() int64 {
+	return int64(w.C-w.L+1) * int64(w.R-w.C+1)
+}
+
+// CountAtLeast returns the number of sequences of length >= t that w
+// represents.
+func (w Window) CountAtLeast(t int) int64 {
+	n := int64(0)
+	for i := w.L; i <= w.C; i++ {
+		// j ranges over [max(C, i+t-1), R].
+		lo := i + int32(t) - 1
+		if lo < w.C {
+			lo = w.C
+		}
+		if lo > w.R {
+			continue
+		}
+		n += int64(w.R - lo + 1)
+	}
+	return n
+}
+
+func (w Window) String() string {
+	return fmt.Sprintf("(%d,%d,%d)", w.L, w.C, w.R)
+}
+
+// Hashes fills dst with f applied to each token and returns it,
+// allocating only when dst is too small. This is the per-function hash
+// pass preceding window generation.
+func Hashes(tokens []uint32, f hash.Func, dst []uint64) []uint64 {
+	if cap(dst) < len(tokens) {
+		dst = make([]uint64, len(tokens))
+	}
+	dst = dst[:len(tokens)]
+	for i, tok := range tokens {
+		dst[i] = f.Hash(tok)
+	}
+	return dst
+}
+
+// GenerateLinear appends to dst every valid compact window of the token
+// hash array vals under length threshold t, in O(len(vals)) time, and
+// returns the extended slice. Ties between equal hash values are broken
+// toward the leftmost position, matching the RMQ-based generator.
+//
+// For each position c the maximal window is [L, R] where L-1 is the
+// closest previous position with value <= vals[c] and R+1 is the closest
+// next position with value < vals[c]; c is then the leftmost minimum of
+// [L, R]. The window is emitted iff R-L+1 >= t.
+func GenerateLinear(vals []uint64, t int, dst []Window) []Window {
+	n := len(vals)
+	if t < 1 {
+		t = 1
+	}
+	if n < t {
+		return dst
+	}
+	// left[c]: first position of c's window. A monotonic stack of
+	// positions with strictly increasing values yields, for each c, the
+	// nearest previous position whose value is <= vals[c].
+	left := make([]int32, n)
+	stack := make([]int32, 0, 64)
+	for c := 0; c < n; c++ {
+		v := vals[c]
+		for len(stack) > 0 && vals[stack[len(stack)-1]] > v {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 {
+			left[c] = 0
+		} else {
+			left[c] = stack[len(stack)-1] + 1
+		}
+		stack = append(stack, int32(c))
+	}
+	// right bound: nearest next position with value strictly smaller.
+	stack = stack[:0]
+	for c := n - 1; c >= 0; c-- {
+		v := vals[c]
+		for len(stack) > 0 && vals[stack[len(stack)-1]] >= v {
+			stack = stack[:len(stack)-1]
+		}
+		var r int32
+		if len(stack) == 0 {
+			r = int32(n - 1)
+		} else {
+			r = stack[len(stack)-1] - 1
+		}
+		if int(r)-int(left[c])+1 >= t {
+			dst = append(dst, Window{L: left[c], C: int32(c), R: r})
+		}
+		stack = append(stack, int32(c))
+	}
+	return dst
+}
+
+// Generate appends to dst every valid compact window of vals under
+// length threshold t using the paper's divide-and-conquer Algorithm 2 on
+// the RMQ structure produced by newRMQ, and returns the extended slice.
+// The recursion is realized with an explicit stack so arbitrarily long
+// texts cannot overflow the goroutine stack.
+func Generate(vals []uint64, t int, newRMQ func([]uint64) rmq.RMQ, dst []Window) []Window {
+	n := len(vals)
+	if t < 1 {
+		t = 1
+	}
+	if n < t {
+		return dst
+	}
+	r := newRMQ(vals)
+	type span struct{ l, r int32 }
+	work := make([]span, 1, 64)
+	work[0] = span{0, int32(n - 1)}
+	for len(work) > 0 {
+		s := work[len(work)-1]
+		work = work[:len(work)-1]
+		if int(s.r)-int(s.l)+1 < t {
+			continue
+		}
+		c := int32(r.Query(int(s.l), int(s.r)))
+		dst = append(dst, Window{L: s.l, C: c, R: s.r})
+		work = append(work, span{s.l, c - 1}, span{c + 1, s.r})
+	}
+	return dst
+}
+
+// GenerateTokens is a convenience wrapper: it hashes tokens with f and
+// runs GenerateLinear. Intended for call sites that do not manage reuse
+// buffers themselves.
+func GenerateTokens(tokens []uint32, f hash.Func, t int) []Window {
+	vals := Hashes(tokens, f, nil)
+	return GenerateLinear(vals, t, nil)
+}
+
+// ExpectedCount returns the expected number of valid compact windows for
+// a text of n distinct random tokens and length threshold t, which
+// Theorem 1 shows to be 2(n+1)/(t+1) - 1 for n >= t (and 0 otherwise).
+func ExpectedCount(n, t int) float64 {
+	if n < t || n <= 0 {
+		return 0
+	}
+	return 2*float64(n+1)/float64(t+1) - 1
+}

@@ -1,0 +1,193 @@
+// Package ndss is a scalable near-duplicate sequence search library, a
+// faithful reproduction of "Near-Duplicate Sequence Search at Scale for
+// Large Language Model Memorization Evaluation" (SIGMOD 2023).
+//
+// Given a corpus of tokenized texts, ndss builds k inverted files of
+// min-hash compact windows (one per hash function) so that, for any
+// query sequence Q and Jaccard threshold θ, it can report every
+// sequence T[i..j] of at least t tokens whose estimated Jaccard
+// similarity with Q is at least θ — in time far below enumerating the
+// O(n²) sequences of each text.
+//
+// Basic usage:
+//
+//	// Offline: build an index over a tokenized corpus.
+//	texts := [][]uint32{ /* token ids */ }
+//	stats, err := ndss.BuildIndex(texts, "idx", ndss.BuildOptions{
+//		K: 32, Seed: 1, T: 25,
+//	})
+//
+//	// Online: open and query.
+//	db, err := ndss.Open("idx")
+//	defer db.Close()
+//	db.AttachTexts(texts) // optional, enables Verify
+//	matches, qstats, err := db.Search(query, ndss.SearchOptions{
+//		Theta: 0.8, PrefixFilter: true,
+//	})
+//
+// Each Match is a merged span of overlapping qualifying sequences in one
+// text, per the paper's reporting rule. See DESIGN.md for the system
+// layout and EXPERIMENTS.md for the reproduced evaluation.
+package ndss
+
+import (
+	"io"
+
+	"ndss/internal/core"
+	"ndss/internal/corpus"
+	"ndss/internal/index"
+	"ndss/internal/search"
+)
+
+// BuildOptions configures index construction. See index.BuildOptions for
+// field documentation; the required fields are K (number of hash
+// functions) and T (minimum indexed sequence length).
+type BuildOptions = index.BuildOptions
+
+// BuildStats reports the work an index build performed.
+type BuildStats = index.BuildStats
+
+// SearchOptions configures one query. Theta is required.
+type SearchOptions = search.Options
+
+// Match is one reported near-duplicate span.
+type Match = search.Match
+
+// QueryStats describes one query's execution.
+type QueryStats = search.Stats
+
+// TextSource resolves text ids to token sequences (for verification).
+type TextSource = search.TextSource
+
+// BuildIndex builds an index directory over in-memory tokenized texts.
+// Text ids are the slice indexes.
+func BuildIndex(texts [][]uint32, dir string, opts BuildOptions) (*BuildStats, error) {
+	return core.BuildIndex(corpus.New(texts), dir, opts)
+}
+
+// BuildIndexFromFile builds an index directory from a corpus file
+// (written with WriteCorpusFile) using the out-of-core builder, suitable
+// for corpora larger than memory.
+func BuildIndexFromFile(corpusPath, dir string, opts BuildOptions) (*BuildStats, error) {
+	return core.BuildIndexExternal(corpusPath, dir, opts)
+}
+
+// WriteCorpusFile writes tokenized texts to the binary corpus format.
+func WriteCorpusFile(texts [][]uint32, path string) error {
+	return corpus.WriteFile(corpus.New(texts), path)
+}
+
+// DB is an opened index ready for queries.
+type DB struct {
+	engine *core.Engine
+	dir    string
+	src    search.TextSource
+}
+
+// Open opens an index directory built by BuildIndex or
+// BuildIndexFromFile.
+func Open(dir string) (*DB, error) {
+	engine, err := core.Open(dir, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{engine: engine, dir: dir}, nil
+}
+
+// AttachTexts provides the corpus content so searches can verify exact
+// Jaccard similarities (SearchOptions.Verify).
+func (db *DB) AttachTexts(texts [][]uint32) error {
+	return db.attach(corpus.New(texts))
+}
+
+// AttachCorpusFile is AttachTexts reading from a corpus file; texts are
+// fetched lazily per match.
+func (db *DB) AttachCorpusFile(path string) error {
+	r, err := corpus.OpenReader(path)
+	if err != nil {
+		return err
+	}
+	return db.attach(r)
+}
+
+func (db *DB) attach(src search.TextSource) error {
+	engine, err := core.Open(db.dir, src)
+	if err != nil {
+		return err
+	}
+	old, oldSrc := db.engine, db.src
+	db.engine = engine
+	db.src = src
+	err = old.Close()
+	if c, ok := oldSrc.(io.Closer); ok {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Search reports every near-duplicate span of query per opts.
+func (db *DB) Search(query []uint32, opts SearchOptions) ([]Match, *QueryStats, error) {
+	return db.engine.Search(query, opts)
+}
+
+// Searcher exposes the underlying searcher for pipelines that drive
+// many queries directly (e.g. the memorization evaluator).
+func (db *DB) Searcher() *search.Searcher { return db.engine.Searcher() }
+
+// TopKOptions configures SearchTopK.
+type TopKOptions = search.TopKOptions
+
+// SearchTopK returns the up-to-N most similar near-duplicate spans,
+// best first.
+func (db *DB) SearchTopK(query []uint32, opts TopKOptions) ([]Match, *QueryStats, error) {
+	return db.engine.Searcher().SearchTopK(query, opts)
+}
+
+// SearchBatch runs many queries concurrently and returns per-query
+// results in order.
+func (db *DB) SearchBatch(queries [][]uint32, opts SearchOptions, parallelism int) []search.BatchResult {
+	return db.engine.Searcher().SearchBatch(queries, opts, parallelism)
+}
+
+// IndexStats summarizes the opened index.
+type IndexStats struct {
+	K           int
+	T           int
+	NumTexts    int
+	TotalTokens int64
+	// Windows is the total number of indexed compact windows.
+	Windows int64
+	// SizeOnDisk is the combined inverted-file size in bytes.
+	SizeOnDisk int64
+}
+
+// Stats summarizes the opened index.
+func (db *DB) Stats() (IndexStats, error) {
+	ix := db.engine.Index()
+	size, err := ix.SizeOnDisk()
+	if err != nil {
+		return IndexStats{}, err
+	}
+	m := ix.Meta()
+	return IndexStats{
+		K:           m.K,
+		T:           m.T,
+		NumTexts:    m.NumTexts,
+		TotalTokens: m.TotalTokens,
+		Windows:     ix.TotalPostings(),
+		SizeOnDisk:  size,
+	}, nil
+}
+
+// Close releases the index files and any attached corpus file.
+func (db *DB) Close() error {
+	err := db.engine.Close()
+	if c, ok := db.src.(io.Closer); ok {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
