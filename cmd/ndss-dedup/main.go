@@ -59,6 +59,8 @@ func run(corpusPath, idxDir string, theta float64, window, stride, parallel, max
 		return err
 	}
 	fmt.Printf("scanned %d texts (%d windows) in %v\n", stats.Texts, stats.Windows, stats.Elapsed)
+	fmt.Printf("query work: io %v, cpu %v, %d bytes read (exact per-query sums)\n",
+		stats.IOTime, stats.CPUTime, stats.IOBytes)
 	fmt.Printf("near-duplicate pairs: %d (across %d text pairs, %d raw window hits)\n",
 		stats.Pairs, stats.TextPairs, stats.RawHits)
 	for i, p := range pairs {

@@ -9,9 +9,18 @@
 // self-similarity checks):
 //
 //	ndss-query -index idx -corpus corpus.tok -theta 0.8 -from-text 42 -at 100 -len 64
+//
+// Batch mode reads one query per line (comma- or space-separated token
+// ids; blank lines and #-comments skipped) and runs them over a worker
+// pool, printing each query's exact I/O/CPU split:
+//
+//	ndss-query -index idx -theta 0.8 -queries queries.txt -parallel 8
+//
+// In batch mode the exit status is non-zero if any query errored.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -33,15 +42,20 @@ func main() {
 	length := flag.Int("len", 64, "query length for -from-text")
 	prefix := flag.Bool("prefix", true, "use prefix filtering")
 	verify := flag.Bool("verify", false, "verify exact Jaccard of matches")
+	queriesPath := flag.String("queries", "", "file with one query per line (batch mode)")
+	parallel := flag.Int("parallel", 1, "batch-mode query workers")
 	flag.Parse()
 
-	if err := run(*idxDir, *corpusPath, *theta, *tokens, *fromText, *at, *length, *prefix, *verify); err != nil {
+	err := run(*idxDir, *corpusPath, *theta, *tokens, *fromText, *at, *length,
+		*prefix, *verify, *queriesPath, *parallel)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ndss-query:", err)
 		os.Exit(1)
 	}
 }
 
-func run(idxDir, corpusPath string, theta float64, tokens string, fromText, at, length int, prefix, verify bool) error {
+func run(idxDir, corpusPath string, theta float64, tokens string, fromText, at, length int,
+	prefix, verify bool, queriesPath string, parallel int) error {
 	var src search.TextSource
 	var reader *corpus.Reader
 	if corpusPath != "" {
@@ -58,15 +72,17 @@ func run(idxDir, corpusPath string, theta float64, tokens string, fromText, at, 
 	}
 	defer engine.Close()
 
+	opts := search.Options{Theta: theta, PrefixFilter: prefix, Verify: verify}
+	if queriesPath != "" {
+		return runBatch(engine, queriesPath, opts, parallel)
+	}
+
 	var query []uint32
 	switch {
 	case tokens != "":
-		for _, part := range strings.Split(tokens, ",") {
-			v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 32)
-			if err != nil {
-				return fmt.Errorf("bad token %q: %w", part, err)
-			}
-			query = append(query, uint32(v))
+		query, err = parseTokens(tokens)
+		if err != nil {
+			return err
 		}
 	case fromText >= 0:
 		if reader == nil {
@@ -81,12 +97,10 @@ func run(idxDir, corpusPath string, theta float64, tokens string, fromText, at, 
 		}
 		query = text[at : at+length]
 	default:
-		return fmt.Errorf("provide -tokens or -from-text")
+		return fmt.Errorf("provide -tokens, -from-text or -queries")
 	}
 
-	matches, stats, err := engine.Search(query, search.Options{
-		Theta: theta, PrefixFilter: prefix, Verify: verify,
-	})
+	matches, stats, err := engine.Search(query, opts)
 	if err != nil {
 		return err
 	}
@@ -110,4 +124,79 @@ func run(idxDir, corpusPath string, theta float64, tokens string, fromText, at, 
 		fmt.Println(line)
 	}
 	return nil
+}
+
+// runBatch runs the queries in path over a worker pool and prints each
+// query's result with its exact per-query I/O/CPU split.
+func runBatch(engine *core.Engine, path string, opts search.Options, parallel int) error {
+	queries, lines, err := readQueriesFile(path)
+	if err != nil {
+		return err
+	}
+	if len(queries) == 0 {
+		return fmt.Errorf("%s: no queries", path)
+	}
+	results := engine.SearchBatch(queries, opts, parallel)
+	failed := 0
+	var ioBytes int64
+	for i, res := range results {
+		if res.Err != nil {
+			failed++
+			fmt.Printf("query %d (line %d): ERROR: %v\n", i, lines[i], res.Err)
+			continue
+		}
+		st := res.Stats
+		ioBytes += st.IOBytes
+		fmt.Printf("query %d (line %d): %d match(es), total %v (io %v, cpu %v), %d bytes read\n",
+			i, lines[i], len(res.Matches), st.Total, st.IOTime, st.CPUTime, st.IOBytes)
+	}
+	fmt.Printf("batch: %d queries, %d failed, %d workers, %d bytes read\n",
+		len(queries), failed, parallel, ioBytes)
+	if failed > 0 {
+		return fmt.Errorf("%d of %d queries failed", failed, len(queries))
+	}
+	return nil
+}
+
+// readQueriesFile parses one query per line; commas and whitespace both
+// separate token ids. Blank lines and lines starting with # are
+// skipped. The returned line numbers (1-based) parallel the queries.
+func readQueriesFile(path string) ([][]uint32, []int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	var queries [][]uint32
+	var lines []int
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for n := 1; sc.Scan(); n++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		q, err := parseTokens(line)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s:%d: %w", path, n, err)
+		}
+		queries = append(queries, q)
+		lines = append(lines, n)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return queries, lines, nil
+}
+
+func parseTokens(s string) ([]uint32, error) {
+	var out []uint32
+	for _, part := range strings.FieldsFunc(s, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) {
+		v, err := strconv.ParseUint(part, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad token %q: %w", part, err)
+		}
+		out = append(out, uint32(v))
+	}
+	return out, nil
 }

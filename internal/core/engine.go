@@ -60,6 +60,19 @@ func (e *Engine) Search(query []uint32, opts search.Options) ([]search.Match, *s
 	return e.searcher.Search(query, opts)
 }
 
+// SearchBatch runs many queries concurrently over a worker pool. Each
+// result carries exact per-query I/O and CPU stats regardless of
+// parallelism (every query runs in its own execution context).
+func (e *Engine) SearchBatch(queries [][]uint32, opts search.Options, parallelism int) []search.BatchResult {
+	return e.searcher.SearchBatch(queries, opts, parallelism)
+}
+
+// Explain returns the deferral plan a query would execute with, without
+// reading any posting lists.
+func (e *Engine) Explain(query []uint32, opts search.Options) (*search.Plan, error) {
+	return e.searcher.Explain(query, opts)
+}
+
 // Index exposes the underlying index for stats and experiments.
 func (e *Engine) Index() *index.Index { return e.ix }
 

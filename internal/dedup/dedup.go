@@ -55,6 +55,13 @@ type Stats struct {
 	Pairs     int // merged output pairs
 	TextPairs int // distinct (textA, textB) combinations
 	Elapsed   time.Duration
+	// IOBytes/IOTime/CPUTime aggregate the per-window-query splits.
+	// Each query reports into its own I/O sink, so these are exact even
+	// under Parallelism > 1 (IOTime/CPUTime then sum the work of all
+	// workers and may exceed Elapsed).
+	IOBytes int64
+	IOTime  time.Duration
+	CPUTime time.Duration
 }
 
 // ScanCorpus self-joins the corpus behind the searcher. The index must
@@ -96,6 +103,9 @@ func ScanCorpus(s *search.Searcher, c *corpus.Corpus, opts Options) ([]Pair, *St
 		if res.Err != nil {
 			return nil, nil, fmt.Errorf("dedup: window %d: %w", i, res.Err)
 		}
+		st.IOBytes += res.Stats.IOBytes
+		st.IOTime += res.Stats.IOTime
+		st.CPUTime += res.Stats.CPUTime
 		w := wins[i]
 		qEnd := w.start + int32(opts.Window) - 1
 		for _, m := range res.Matches {

@@ -119,18 +119,24 @@ func (fam *Family) MinHash(i int, seq []uint32) (uint64, error) {
 // Sketch returns the k-mins sketch of seq: the min-hash under every
 // function of the family, in function order.
 func (fam *Family) Sketch(seq []uint32) ([]uint64, error) {
+	return fam.SketchAppend(seq, nil)
+}
+
+// SketchAppend appends the k-mins sketch of seq to dst and returns the
+// extended slice, letting callers reuse one scratch buffer across many
+// sketches. dst may be nil.
+func (fam *Family) SketchAppend(seq []uint32, dst []uint64) ([]uint64, error) {
 	if len(seq) == 0 {
-		return nil, ErrEmptySequence
+		return dst, ErrEmptySequence
 	}
-	sketch := make([]uint64, len(fam.funcs))
 	for i := range fam.funcs {
 		h, err := fam.MinHash(i, seq)
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
-		sketch[i] = h
+		dst = append(dst, h)
 	}
-	return sketch, nil
+	return dst, nil
 }
 
 // Collisions counts positions where the two sketches agree. Sketches must

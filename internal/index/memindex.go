@@ -96,6 +96,14 @@ func (m *MemIndex) ReadList(fn int, h uint64) ([]Posting, error) {
 	return m.lists[fn][h], nil
 }
 
+// ReadListInto appends the postings for hash h of function fn to dst.
+// Unlike ReadList, the result never aliases index storage, so callers
+// may reuse dst as a scratch buffer across reads. A MemIndex performs
+// no I/O, so sink is left untouched.
+func (m *MemIndex) ReadListInto(dst []Posting, fn int, h uint64, _ *IOStats) ([]Posting, error) {
+	return append(dst, m.lists[fn][h]...), nil
+}
+
 // ReadListForText returns only textID's postings within the list for
 // hash h of function fn, using binary search over the id-sorted list.
 func (m *MemIndex) ReadListForText(fn int, h uint64, textID uint32) ([]Posting, error) {
@@ -109,6 +117,17 @@ func (m *MemIndex) ReadListForText(fn int, h uint64, textID uint32) ([]Posting, 
 		return nil, nil
 	}
 	return ps[lo:hi], nil
+}
+
+// ReadListForTextInto is ReadListForText appending into dst, with the
+// same no-alias contract as ReadListInto. sink is left untouched (no
+// I/O happens).
+func (m *MemIndex) ReadListForTextInto(dst []Posting, fn int, h uint64, textID uint32, _ *IOStats) ([]Posting, error) {
+	ps, err := m.ReadListForText(fn, h, textID)
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, ps...), nil
 }
 
 // IOStats reports zeroes: a MemIndex performs no I/O.

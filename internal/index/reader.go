@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -207,26 +208,55 @@ func (ix *Index) ListLengths(fn int) []int {
 	return out
 }
 
-// readAt wraps ReadAt with I/O accounting.
-func (ix *Index) readAt(ff *funcFile, buf []byte, off int64) error {
+// readBufPool recycles the scratch byte buffers posting and zone reads
+// decode from, so sustained query traffic does not churn the GC.
+var readBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+func getReadBuf(n int) *[]byte {
+	bp := readBufPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+// readAt wraps ReadAt with I/O accounting: the index-wide cumulative
+// counters always, plus the caller's per-query sink when non-nil.
+func (ix *Index) readAt(ff *funcFile, buf []byte, off int64, sink *IOStats) error {
 	start := time.Now()
 	_, err := ff.f.ReadAt(buf, off)
-	ix.readNanos.Add(int64(time.Since(start)))
+	elapsed := time.Since(start)
+	ix.readNanos.Add(int64(elapsed))
 	ix.bytesRead.Add(int64(len(buf)))
+	if sink != nil {
+		sink.BytesRead += int64(len(buf))
+		sink.ReadTime += elapsed
+	}
 	return err
 }
 
 // ReadList reads the entire inverted list for hash h of function fn.
 // A missing hash yields an empty list.
 func (ix *Index) ReadList(fn int, h uint64) ([]Posting, error) {
+	return ix.ReadListInto(nil, fn, h, nil)
+}
+
+// ReadListInto appends the postings of the list for hash h of function
+// fn to dst and returns the extended slice, recording the read's bytes
+// and latency into sink (when non-nil) in addition to the index-wide
+// cumulative counters. dst may be nil; reusing it across reads avoids
+// per-list allocations. The appended postings never alias index
+// storage.
+func (ix *Index) ReadListInto(dst []Posting, fn int, h uint64, sink *IOStats) ([]Posting, error) {
 	ff := ix.files[fn]
 	e, ok := ff.lookup(h)
 	if !ok {
-		return nil, nil
+		return dst, nil
 	}
-	out, err := ix.readListEntry(ff, e)
+	out, err := ix.readListEntry(dst, ff, e, sink)
 	if err != nil {
-		return nil, fmt.Errorf("index: read list %x: %w", h, err)
+		return dst, fmt.Errorf("index: read list %x: %w", h, err)
 	}
 	return out, nil
 }
@@ -236,90 +266,85 @@ func (ix *Index) ReadList(fn int, h uint64) ([]Posting, error) {
 // map so the read is proportional to the zone step rather than the list
 // length; short lists are read fully and filtered.
 func (ix *Index) ReadListForText(fn int, h uint64, textID uint32) ([]Posting, error) {
+	return ix.ReadListForTextInto(nil, fn, h, textID, nil)
+}
+
+// ReadListForTextInto is ReadListForText appending into dst and
+// recording I/O into sink, with the same reuse contract as
+// ReadListInto.
+func (ix *Index) ReadListForTextInto(dst []Posting, fn int, h uint64, textID uint32, sink *IOStats) ([]Posting, error) {
 	ff := ix.files[fn]
 	e, ok := ff.lookup(h)
 	if !ok {
-		return nil, nil
+		return dst, nil
 	}
 	if e.ZoneCount == 0 {
-		full, err := ix.readListEntry(ff, e)
-		if err != nil {
-			return nil, err
+		bp := getReadBuf(int(e.Count) * postingSize)
+		defer readBufPool.Put(bp)
+		if err := ix.readAt(ff, *bp, int64(e.Off), sink); err != nil {
+			return dst, fmt.Errorf("index: read list %x: %w", h, err)
 		}
-		return filterByText(full, textID), nil
+		return appendPostingsOfText(dst, *bp, int(e.Count), textID), nil
 	}
-	zones, err := ix.readZones(ff, e)
-	if err != nil {
-		return nil, err
+	zbp := getReadBuf(int(e.ZoneCount) * zoneEntrySize)
+	defer readBufPool.Put(zbp)
+	if err := ix.readAt(ff, *zbp, int64(e.ZoneOff), sink); err != nil {
+		return dst, fmt.Errorf("index: read zones %x: %w", h, err)
 	}
+	zbuf := *zbp
+	firstID := func(i int) uint32 { return binary.LittleEndian.Uint32(zbuf[i*zoneEntrySize:]) }
 	// First zone whose FirstTextID > textID bounds the probe on the
 	// right; the probe starts one zone before the first zone with
 	// FirstTextID >= textID (the text's postings may begin mid-zone).
-	hi := sort.Search(len(zones), func(i int) bool { return zones[i].FirstTextID > textID })
+	n := int(e.ZoneCount)
+	hi := sort.Search(n, func(i int) bool { return firstID(i) > textID })
 	if hi == 0 {
 		// The list's very first posting already has a larger text id.
-		return nil, nil
+		return dst, nil
 	}
-	lo := sort.Search(len(zones), func(i int) bool { return zones[i].FirstTextID >= textID })
+	lo := sort.Search(n, func(i int) bool { return firstID(i) >= textID })
 	if lo > 0 {
 		lo--
 	}
-	startOrd := int(zones[lo].Ordinal)
+	startOrd := int(binary.LittleEndian.Uint32(zbuf[lo*zoneEntrySize+4:]))
 	endOrd := int(e.Count)
-	if hi < len(zones) {
-		endOrd = int(zones[hi].Ordinal)
+	if hi < n {
+		endOrd = int(binary.LittleEndian.Uint32(zbuf[hi*zoneEntrySize+4:]))
 	}
-	buf := make([]byte, (endOrd-startOrd)*postingSize)
-	if err := ix.readAt(ff, buf, int64(e.Off)+int64(startOrd*postingSize)); err != nil {
-		return nil, fmt.Errorf("index: probe list %x: %w", h, err)
+	pbp := getReadBuf((endOrd - startOrd) * postingSize)
+	defer readBufPool.Put(pbp)
+	if err := ix.readAt(ff, *pbp, int64(e.Off)+int64(startOrd*postingSize), sink); err != nil {
+		return dst, fmt.Errorf("index: probe list %x: %w", h, err)
 	}
-	var out []Posting
-	for i := 0; i < endOrd-startOrd; i++ {
+	return appendPostingsOfText(dst, *pbp, endOrd-startOrd, textID), nil
+}
+
+// appendPostingsOfText decodes count postings from buf, appending the
+// ones belonging to textID to dst. Lists are sorted by text id, so the
+// scan stops at the first larger id.
+func appendPostingsOfText(dst []Posting, buf []byte, count int, textID uint32) []Posting {
+	for i := 0; i < count; i++ {
 		p := decodePosting(buf[i*postingSize:])
 		if p.TextID == textID {
-			out = append(out, p)
+			dst = append(dst, p)
 		} else if p.TextID > textID {
 			break
 		}
 	}
-	return out, nil
+	return dst
 }
 
-func (ix *Index) readListEntry(ff *funcFile, e dirEntry) ([]Posting, error) {
-	buf := make([]byte, int(e.Count)*postingSize)
-	if err := ix.readAt(ff, buf, int64(e.Off)); err != nil {
-		return nil, err
+func (ix *Index) readListEntry(dst []Posting, ff *funcFile, e dirEntry, sink *IOStats) ([]Posting, error) {
+	bp := getReadBuf(int(e.Count) * postingSize)
+	defer readBufPool.Put(bp)
+	buf := *bp
+	if err := ix.readAt(ff, buf, int64(e.Off), sink); err != nil {
+		return dst, err
 	}
-	out := make([]Posting, e.Count)
-	for i := range out {
-		out[i] = decodePosting(buf[i*postingSize:])
+	for i := 0; i < int(e.Count); i++ {
+		dst = append(dst, decodePosting(buf[i*postingSize:]))
 	}
-	return out, nil
-}
-
-func (ix *Index) readZones(ff *funcFile, e dirEntry) ([]zoneEntry, error) {
-	buf := make([]byte, int(e.ZoneCount)*zoneEntrySize)
-	if err := ix.readAt(ff, buf, int64(e.ZoneOff)); err != nil {
-		return nil, err
-	}
-	out := make([]zoneEntry, e.ZoneCount)
-	for i := range out {
-		out[i] = zoneEntry{
-			FirstTextID: binary.LittleEndian.Uint32(buf[i*zoneEntrySize:]),
-			Ordinal:     binary.LittleEndian.Uint32(buf[i*zoneEntrySize+4:]),
-		}
-	}
-	return out, nil
-}
-
-func filterByText(ps []Posting, textID uint32) []Posting {
-	var out []Posting
-	for _, p := range ps {
-		if p.TextID == textID {
-			out = append(out, p)
-		}
-	}
-	return out
+	return dst, nil
 }
 
 // IOStats reports cumulative read accounting since the index was opened

@@ -1,0 +1,147 @@
+package index
+
+import (
+	"reflect"
+	"testing"
+
+	"ndss/internal/corpus"
+)
+
+// The Into read variants must (a) return the same postings as the
+// plain variants, (b) append after existing dst contents, and (c)
+// record exactly the same bytes/latency into the caller's sink as into
+// the index-wide counters.
+
+func buildSinkTestIndex(t *testing.T) (*Index, *corpus.Corpus) {
+	t.Helper()
+	c := corpus.MustSynthesize(corpus.SynthConfig{
+		NumTexts: 30, MinLength: 30, MaxLength: 80, VocabSize: 25,
+		ZipfS: 1.3, Seed: 5, DupRate: 0.5, DupSnippetLen: 15, DupMutateProb: 0.05,
+	})
+	dir := t.TempDir()
+	if _, err := Build(c, dir, BuildOptions{K: 4, Seed: 9, T: 5, ZoneMapStep: 4, LongListCutoff: 8}); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ix.Close() })
+	return ix, c
+}
+
+func TestReadListIntoMatchesReadList(t *testing.T) {
+	ix, _ := buildSinkTestIndex(t)
+	for fn := 0; fn < ix.K(); fn++ {
+		for _, h := range ix.Hashes(fn) {
+			plain, err := ix.ReadList(fn, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sink IOStats
+			before := ix.IOStats()
+			got, err := ix.ReadListInto(nil, fn, h, &sink)
+			if err != nil {
+				t.Fatal(err)
+			}
+			after := ix.IOStats()
+			if !reflect.DeepEqual(got, plain) {
+				t.Fatalf("fn %d hash %x: Into returned different postings", fn, h)
+			}
+			if sink.BytesRead != after.BytesRead-before.BytesRead {
+				t.Fatalf("fn %d hash %x: sink bytes %d != counter delta %d",
+					fn, h, sink.BytesRead, after.BytesRead-before.BytesRead)
+			}
+			if sink.ReadTime != after.ReadTime-before.ReadTime {
+				t.Fatalf("fn %d hash %x: sink time %v != counter delta %v",
+					fn, h, sink.ReadTime, after.ReadTime-before.ReadTime)
+			}
+		}
+	}
+}
+
+func TestReadListIntoAppends(t *testing.T) {
+	ix, _ := buildSinkTestIndex(t)
+	fn := 0
+	hashes := ix.Hashes(fn)
+	if len(hashes) < 2 {
+		t.Skip("need two lists")
+	}
+	a, _ := ix.ReadList(fn, hashes[0])
+	b, _ := ix.ReadList(fn, hashes[1])
+	combined, err := ix.ReadListInto(nil, fn, hashes[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined, err = ix.ReadListInto(combined, fn, hashes[1], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(append([]Posting(nil), a...), b...)
+	if !reflect.DeepEqual(combined, want) {
+		t.Fatalf("appended read diverged:\ngot  %v\nwant %v", combined, want)
+	}
+}
+
+func TestReadListForTextIntoMatchesAndAccounts(t *testing.T) {
+	ix, c := buildSinkTestIndex(t)
+	for fn := 0; fn < ix.K(); fn++ {
+		for _, h := range ix.Hashes(fn) {
+			for id := 0; id < c.NumTexts(); id += 7 {
+				plain, err := ix.ReadListForText(fn, h, uint32(id))
+				if err != nil {
+					t.Fatal(err)
+				}
+				var sink IOStats
+				before := ix.IOStats()
+				got, err := ix.ReadListForTextInto(nil, fn, h, uint32(id), &sink)
+				if err != nil {
+					t.Fatal(err)
+				}
+				after := ix.IOStats()
+				if len(plain) != len(got) || (len(plain) > 0 && !reflect.DeepEqual(got, plain)) {
+					t.Fatalf("fn %d hash %x text %d: probe differs\ngot  %v\nwant %v", fn, h, id, got, plain)
+				}
+				if sink.BytesRead != after.BytesRead-before.BytesRead {
+					t.Fatalf("fn %d hash %x text %d: sink bytes %d != delta %d",
+						fn, h, id, sink.BytesRead, after.BytesRead-before.BytesRead)
+				}
+			}
+		}
+	}
+}
+
+func TestMemIndexIntoVariantsCopy(t *testing.T) {
+	c := corpus.MustSynthesize(corpus.SynthConfig{
+		NumTexts: 10, MinLength: 20, MaxLength: 40, VocabSize: 15,
+		ZipfS: 1.3, Seed: 6, DupRate: 0.5, DupSnippetLen: 10, DupMutateProb: 0.05,
+	})
+	mem, err := BuildMem(c, BuildOptions{K: 2, Seed: 3, T: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for fn := 0; fn < mem.K() && !found; fn++ {
+		for h := range mem.lists[fn] {
+			shared, _ := mem.ReadList(fn, h)
+			if len(shared) == 0 {
+				continue
+			}
+			got, err := mem.ReadListInto(nil, fn, h, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, shared) {
+				t.Fatalf("MemIndex ReadListInto differs from ReadList")
+			}
+			if &got[0] == &shared[0] {
+				t.Fatal("MemIndex ReadListInto aliases index storage")
+			}
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no non-empty list in MemIndex")
+	}
+}

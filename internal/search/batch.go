@@ -13,10 +13,10 @@ type BatchResult struct {
 // returns results in query order. The index is safe for concurrent
 // readers; parallelism <= 1 degenerates to a sequential loop.
 //
-// Caveat: Stats.IOBytes/IOTime are derived from index-wide counters and
-// are only attributable to individual queries when they run alone, so
-// under parallelism > 1 each query's Stats reports the batch-wide delta
-// it happened to observe. Timing totals (Stats.Total) remain accurate.
+// Every query executes in its own pipeline context with a private I/O
+// stats sink, so each result's Stats.IOBytes/IOTime/CPUTime are exact
+// for that query at any parallelism; summed over the batch they equal
+// the index-wide IOStats delta.
 func (s *Searcher) SearchBatch(queries [][]uint32, opts Options, parallelism int) []BatchResult {
 	out := make([]BatchResult, len(queries))
 	if parallelism <= 1 {

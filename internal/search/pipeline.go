@@ -1,0 +1,343 @@
+package search
+
+// The staged query pipeline. One search runs as
+//
+//	sketch → plan → gather → count → merge → verify
+//
+// over a per-query execution context (queryCtx) that owns every piece
+// of mutable query state: the min-hash sketch, the deferral plan,
+// posting scratch buffers, the per-text window groups, and a private
+// I/O stats sink the index reads report into. Contexts are pooled per
+// Searcher, so steady-state queries allocate little beyond their
+// results, and because no state is shared between in-flight queries,
+// Stats.IOBytes/IOTime are exact at any concurrency.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ndss/internal/hash"
+	"ndss/internal/index"
+)
+
+// Plan is one query's deferral plan, the output of the plan stage: for
+// each of the k inverted lists, whether it is read fully up front
+// (short) or deferred to per-candidate zone-map probes (long, §3.5).
+type Plan struct {
+	// Long[fn] reports whether function fn's list is deferred.
+	Long []bool
+	// NumLong is the number of deferred lists (at most Beta-1, so the
+	// short-list filter threshold stays positive).
+	NumLong int
+	// Cutoff is the list-length threshold applied, 0 when the plan came
+	// from the cost model (CostBasedPrefix) or no filtering was asked.
+	Cutoff int
+	// Beta is the required collision count ceil(K*Theta); Alpha is the
+	// short-list filter threshold Beta - NumLong (floored at 1).
+	Beta, Alpha int
+}
+
+// queryCtx is the per-query execution context: scratch buffers, the
+// deferral plan, and the I/O stats sink. A context is owned by exactly
+// one query from acquireCtx to releaseCtx.
+type queryCtx struct {
+	opts   Options
+	minLen int
+
+	sketch []uint64
+	plan   Plan
+
+	lens  []int // scratch: per-function list lengths
+	order []int // scratch: function ids, sorted by list length
+
+	postings []index.Posting           // scratch for short-list reads
+	windows  []index.Posting           // per-text merged windows
+	groups   map[uint32][]taggedWindow // short-list postings by text
+	free     [][]taggedWindow          // recycled group slices
+	qual     []spanRect                // scratch for span merging
+
+	io index.IOStats // private per-query I/O sink
+	st *Stats
+}
+
+// spanRect pairs a qualifying rectangle with its merged span.
+type spanRect struct {
+	span Interval
+	rect Rect
+}
+
+func (s *Searcher) acquireCtx(opts Options, minLen, beta int, st *Stats) *queryCtx {
+	qc, _ := s.ctxPool.Get().(*queryCtx)
+	if qc == nil {
+		qc = &queryCtx{groups: make(map[uint32][]taggedWindow)}
+	}
+	qc.opts = opts
+	qc.minLen = minLen
+	qc.plan.Beta = beta
+	qc.st = st
+	qc.io = index.IOStats{}
+	return qc
+}
+
+func (s *Searcher) releaseCtx(qc *queryCtx) {
+	// Recycle the per-text group slices so the next query's gather stage
+	// appends into ready-made capacity instead of allocating.
+	for id, g := range qc.groups {
+		qc.free = append(qc.free, g[:0])
+		delete(qc.groups, id)
+	}
+	qc.sketch = qc.sketch[:0]
+	qc.postings = qc.postings[:0]
+	qc.windows = qc.windows[:0]
+	qc.qual = qc.qual[:0]
+	qc.st = nil
+	s.ctxPool.Put(qc)
+}
+
+// stageSketch computes the query's k-mins sketch into the context.
+func (s *Searcher) stageSketch(qc *queryCtx, query []uint32) error {
+	sk, err := s.ix.Family().SketchAppend(query, qc.sketch[:0])
+	if err != nil {
+		return err
+	}
+	qc.sketch = sk
+	return nil
+}
+
+// stagePlan splits the k lists into short (read fully) and long
+// (deferred to zone-map probes), honoring the fixed cutoff or the cost
+// model. At most beta-1 lists go long so a candidate must still hit at
+// least one short list.
+func (s *Searcher) stagePlan(qc *queryCtx) {
+	k := len(qc.sketch)
+	if cap(qc.plan.Long) < k {
+		qc.plan.Long = make([]bool, k)
+	}
+	qc.plan.Long = qc.plan.Long[:k]
+	for i := range qc.plan.Long {
+		qc.plan.Long[i] = false
+	}
+	qc.plan.NumLong, qc.plan.Cutoff = 0, 0
+	beta := qc.plan.Beta
+
+	switch {
+	case qc.opts.CostBasedPrefix:
+		qc.lens = qc.lens[:0]
+		for fn := 0; fn < k; fn++ {
+			qc.lens = append(qc.lens, s.ix.ListLength(fn, qc.sketch[fn]))
+		}
+		for fn, long := range ChooseDeferral(qc.lens, beta, DefaultCostModel()) {
+			if long {
+				qc.plan.Long[fn] = true
+				qc.plan.NumLong++
+			}
+		}
+	case qc.opts.PrefixFilter:
+		cutoff := qc.opts.LongListThreshold
+		if cutoff == 0 {
+			cutoff = s.defaultCutoff()
+		}
+		qc.plan.Cutoff = cutoff
+		qc.lens, qc.order = qc.lens[:0], qc.order[:0]
+		for fn := 0; fn < k; fn++ {
+			n := s.ix.ListLength(fn, qc.sketch[fn])
+			qc.lens = append(qc.lens, n)
+			qc.order = append(qc.order, fn)
+			if n > cutoff {
+				qc.plan.Long[fn] = true
+				qc.plan.NumLong++
+			}
+		}
+		// A candidate must appear in >= beta lists, so it must hit at
+		// least one of the (k - beta + 1) shortest. Demote the shortest
+		// deferred lists until at most beta-1 remain long.
+		if qc.plan.NumLong > beta-1 {
+			sort.Slice(qc.order, func(i, j int) bool { return qc.lens[qc.order[i]] < qc.lens[qc.order[j]] })
+			for _, fn := range qc.order {
+				if qc.plan.NumLong <= beta-1 {
+					break
+				}
+				if qc.plan.Long[fn] {
+					qc.plan.Long[fn] = false
+					qc.plan.NumLong--
+				}
+			}
+		}
+	}
+	qc.plan.Alpha = beta - qc.plan.NumLong
+	if qc.plan.Alpha < 1 {
+		qc.plan.Alpha = 1
+	}
+}
+
+// stageGather reads every short list and groups its postings by text,
+// charging the reads to the query's private I/O sink.
+func (s *Searcher) stageGather(qc *queryCtx) error {
+	for fn := range qc.plan.Long {
+		if qc.plan.Long[fn] {
+			continue
+		}
+		qc.st.ShortLists++
+		ps, err := s.ix.ReadListInto(qc.postings[:0], fn, qc.sketch[fn], &qc.io)
+		if err != nil {
+			return err
+		}
+		qc.postings = ps
+		for _, p := range ps {
+			g, ok := qc.groups[p.TextID]
+			if !ok && len(qc.free) > 0 {
+				g = qc.free[len(qc.free)-1]
+				qc.free = qc.free[:len(qc.free)-1]
+			}
+			qc.groups[p.TextID] = append(g, taggedWindow{fn: fn, p: p})
+		}
+	}
+	qc.st.LongLists = qc.plan.NumLong
+	return nil
+}
+
+// stageCount runs the count and merge stages over every candidate text
+// and returns the final, position-ordered matches.
+func (s *Searcher) stageCount(qc *queryCtx) ([]Match, error) {
+	var matches []Match
+	for textID, group := range qc.groups {
+		ms, err := s.countText(qc, textID, group)
+		if err != nil {
+			return nil, err
+		}
+		matches = append(matches, ms...)
+	}
+	sort.Slice(matches, func(i, j int) bool {
+		if matches[i].TextID != matches[j].TextID {
+			return matches[i].TextID < matches[j].TextID
+		}
+		return matches[i].Start < matches[j].Start
+	})
+	return matches, nil
+}
+
+// countText applies the short-list filter to one text, probes the
+// deferred lists for survivors (zone maps keep each probe proportional
+// to the text's postings), and counts collisions (Algorithm 4).
+func (s *Searcher) countText(qc *queryCtx, textID uint32, group []taggedWindow) ([]Match, error) {
+	if len(group) < qc.plan.Alpha {
+		return nil, nil
+	}
+	qc.windows = qc.windows[:0]
+	for _, tw := range group {
+		qc.windows = append(qc.windows, tw.p)
+	}
+	rects := CollisionCount(qc.windows, qc.plan.Alpha)
+	if len(rects) == 0 {
+		return nil, nil
+	}
+	qc.st.Candidates++
+	if qc.plan.NumLong > 0 {
+		qc.st.Probed++
+		for fn := range qc.plan.Long {
+			if !qc.plan.Long[fn] {
+				continue
+			}
+			ws, err := s.ix.ReadListForTextInto(qc.windows, fn, qc.sketch[fn], textID, &qc.io)
+			if err != nil {
+				return nil, err
+			}
+			qc.windows = ws
+		}
+		rects = CollisionCount(qc.windows, qc.plan.Beta)
+	}
+	return s.mergeText(qc, textID, rects), nil
+}
+
+// mergeText filters rectangles to those holding a qualifying sequence
+// (count >= beta and a sequence of length >= minLen) and merges their
+// overlapping spans into disjoint matches (the paper's Remark).
+func (s *Searcher) mergeText(qc *queryCtx, textID uint32, rects []Rect) []Match {
+	qc.qual = qc.qual[:0]
+	for _, r := range rects {
+		if r.Count < qc.plan.Beta || !r.HasSequenceOfLength(qc.minLen) {
+			continue
+		}
+		qc.qual = append(qc.qual, spanRect{span: r.Span(), rect: r})
+	}
+	if len(qc.qual) == 0 {
+		return nil
+	}
+	qc.st.Rects += len(qc.qual)
+	sort.Slice(qc.qual, func(i, j int) bool { return qc.qual[i].span.Lo < qc.qual[j].span.Lo })
+	var out []Match
+	cur := Match{TextID: textID, Start: qc.qual[0].span.Lo, End: qc.qual[0].span.Hi, Collisions: qc.qual[0].rect.Count}
+	if qc.opts.KeepRects {
+		cur.Rects = []Rect{qc.qual[0].rect}
+	}
+	for _, q := range qc.qual[1:] {
+		if q.span.Lo <= cur.End { // overlapping: merge
+			if q.span.Hi > cur.End {
+				cur.End = q.span.Hi
+			}
+			if q.rect.Count > cur.Collisions {
+				cur.Collisions = q.rect.Count
+			}
+			if qc.opts.KeepRects {
+				cur.Rects = append(cur.Rects, q.rect)
+			}
+		} else {
+			cur.EstJaccard = float64(cur.Collisions) / float64(qc.st.K)
+			out = append(out, cur)
+			cur = Match{TextID: textID, Start: q.span.Lo, End: q.span.Hi, Collisions: q.rect.Count}
+			if qc.opts.KeepRects {
+				cur.Rects = []Rect{q.rect}
+			}
+		}
+	}
+	cur.EstJaccard = float64(cur.Collisions) / float64(qc.st.K)
+	out = append(out, cur)
+	return out
+}
+
+// stageVerify fills Match.Jaccard with the exact distinct Jaccard
+// similarity between the query and each merged span. validate has
+// already guaranteed a TextSource is attached.
+func (s *Searcher) stageVerify(query []uint32, matches []Match) error {
+	for i := range matches {
+		m := &matches[i]
+		text, err := s.src.ReadText(m.TextID)
+		if err != nil {
+			return fmt.Errorf("search: verify text %d: %w", m.TextID, err)
+		}
+		if int(m.End) >= len(text) {
+			return fmt.Errorf("search: match span [%d, %d] exceeds text %d length %d",
+				m.Start, m.End, m.TextID, len(text))
+		}
+		matches[i].Jaccard = hash.DistinctJaccard(query, text[m.Start:m.End+1])
+	}
+	return nil
+}
+
+// Explain returns the deferral plan Search would execute query with,
+// without reading any posting lists. The returned Plan is a private
+// copy the caller may retain.
+func (s *Searcher) Explain(query []uint32, opts Options) (*Plan, error) {
+	minLen, err := opts.validate(s.ix.Meta(), true)
+	if err != nil {
+		return nil, err
+	}
+	if len(query) == 0 {
+		return nil, fmt.Errorf("search: empty query")
+	}
+	k := s.ix.K()
+	beta := int(math.Ceil(float64(k) * opts.Theta))
+	if beta < 1 {
+		beta = 1
+	}
+	qc := s.acquireCtx(opts, minLen, beta, &Stats{K: k, Beta: beta})
+	defer s.releaseCtx(qc)
+	if err := s.stageSketch(qc, query); err != nil {
+		return nil, err
+	}
+	s.stagePlan(qc)
+	plan := qc.plan
+	plan.Long = append([]bool(nil), qc.plan.Long...)
+	return &plan, nil
+}

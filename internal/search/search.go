@@ -3,7 +3,7 @@ package search
 import (
 	"fmt"
 	"math"
-	"sort"
+	"sync"
 	"time"
 
 	"ndss/internal/hash"
@@ -20,6 +20,13 @@ type TextSource interface {
 // IndexReader is the index access surface the query processor needs.
 // *index.Index (on-disk) and *index.MemIndex (in-memory) both satisfy
 // it.
+//
+// The Into variants append into a caller-supplied buffer and report the
+// read's bytes/latency into a caller-supplied sink (which may be nil);
+// implementations must never alias internal storage in the appended
+// postings, so callers can reuse the buffer across reads. The query
+// pipeline uses only the Into variants — that is what makes per-query
+// I/O accounting exact under concurrency.
 type IndexReader interface {
 	K() int
 	Meta() index.Meta
@@ -27,7 +34,9 @@ type IndexReader interface {
 	ListLength(fn int, h uint64) int
 	ListLengths(fn int) []int
 	ReadList(fn int, h uint64) ([]index.Posting, error)
+	ReadListInto(dst []index.Posting, fn int, h uint64, sink *index.IOStats) ([]index.Posting, error)
 	ReadListForText(fn int, h uint64, textID uint32) ([]index.Posting, error)
+	ReadListForTextInto(dst []index.Posting, fn int, h uint64, textID uint32, sink *index.IOStats) ([]index.Posting, error)
 	IOStats() index.IOStats
 }
 
@@ -59,6 +68,33 @@ type Options struct {
 	KeepRects bool
 }
 
+// validate checks the options against the index metadata before any
+// list I/O happens and resolves the effective minimum match length.
+// hasSource reports whether a TextSource is attached (required by
+// Verify).
+func (o Options) validate(meta index.Meta, hasSource bool) (minLen int, err error) {
+	if o.Theta <= 0 || o.Theta > 1 {
+		return 0, fmt.Errorf("search: Theta must be in (0, 1], got %v", o.Theta)
+	}
+	if o.MinLength < 0 {
+		return 0, fmt.Errorf("search: MinLength must not be negative, got %d", o.MinLength)
+	}
+	if o.LongListThreshold < 0 {
+		return 0, fmt.Errorf("search: LongListThreshold must not be negative, got %d", o.LongListThreshold)
+	}
+	if o.Verify && !hasSource {
+		return 0, fmt.Errorf("search: Verify requires a TextSource")
+	}
+	minLen = o.MinLength
+	if minLen == 0 {
+		minLen = meta.T
+	}
+	if minLen < meta.T {
+		return 0, fmt.Errorf("search: MinLength %d below index length threshold %d", minLen, meta.T)
+	}
+	return minLen, nil
+}
+
 // Match is one reported near-duplicate region: the merged span of
 // overlapping qualifying sequences in one text (the paper's Remark
 // merges overlapping near-duplicates so reports are disjoint).
@@ -80,7 +116,9 @@ type Match struct {
 }
 
 // Stats describes one query's execution for the latency-split
-// experiments (Fig 3).
+// experiments (Fig 3). IOBytes/IOTime come from the query's private
+// I/O sink, so they are exact for this query even when many queries
+// run concurrently.
 type Stats struct {
 	K          int
 	Beta       int           // required collisions ceil(K*Theta)
@@ -90,36 +128,48 @@ type Stats struct {
 	Probed     int           // texts probed in long lists
 	Rects      int           // qualifying rectangles
 	Matches    int           // merged spans reported
-	IOBytes    int64         // bytes read from the index
-	IOTime     time.Duration // time spent in index reads
+	IOBytes    int64         // bytes read from the index by this query
+	IOTime     time.Duration // time this query spent in index reads
 	CPUTime    time.Duration // Total minus IOTime
 	Total      time.Duration
 }
 
 // Searcher answers near-duplicate sequence searches against an opened
-// index. It is safe for sequential use; the I/O split in Stats is
-// computed from index-wide counters and is only meaningful when queries
-// do not run concurrently.
+// index. It is safe for concurrent use: every query runs in its own
+// pooled execution context (scratch buffers, deferral plan, I/O stats
+// sink), so nothing is shared between in-flight queries and the
+// IOBytes/IOTime/CPUTime split in Stats is exact per query at any
+// parallelism.
 type Searcher struct {
-	ix            IndexReader
-	src           TextSource
-	defaultCutoff int
+	ix  IndexReader
+	src TextSource
+
+	cutoffOnce sync.Once
+	cutoffVal  int
+
+	ctxPool sync.Pool // *queryCtx
 }
 
 // New creates a Searcher. src may be nil if verification is never
 // requested.
 func New(ix IndexReader, src TextSource) *Searcher {
-	return &Searcher{
-		ix:            ix,
-		src:           src,
-		defaultCutoff: CutoffForTopFraction(ix, 0.10),
-	}
+	return &Searcher{ix: ix, src: src}
+}
+
+// defaultCutoff derives the default long-list cutoff (the 10% most
+// frequent lists) lazily, at most once per Searcher: queries that
+// always pass an explicit LongListThreshold (or no prefix filtering at
+// all) never pay for it.
+func (s *Searcher) defaultCutoff() int {
+	s.cutoffOnce.Do(func() { s.cutoffVal = CutoffForTopFraction(s.ix, 0.10) })
+	return s.cutoffVal
 }
 
 // CutoffForTopFraction returns a list-length threshold such that
 // roughly the given fraction of inverted lists (the longest ones — the
 // "prefix" of most frequent tokens) exceed it. Fig 3(d) sweeps this
-// fraction from 5% to 20%.
+// fraction from 5% to 20%. The quantile is found with a selection pass
+// (expected O(n)), not a full sort.
 func CutoffForTopFraction(ix IndexReader, frac float64) int {
 	var lengths []int
 	for fn := 0; fn < ix.K(); fn++ {
@@ -128,7 +178,6 @@ func CutoffForTopFraction(ix IndexReader, frac float64) int {
 	if len(lengths) == 0 {
 		return 0
 	}
-	sort.Ints(lengths)
 	pos := int(float64(len(lengths)) * (1 - frac))
 	if pos >= len(lengths) {
 		pos = len(lengths) - 1
@@ -136,7 +185,41 @@ func CutoffForTopFraction(ix IndexReader, frac float64) int {
 	if pos < 0 {
 		pos = 0
 	}
-	return lengths[pos]
+	return quickselect(lengths, pos)
+}
+
+// quickselect returns the value that would be at index pos were a
+// sorted ascending, partitioning a in place. The three-way partition
+// keeps it linear on the duplicate-heavy length distributions real
+// indexes have.
+func quickselect(a []int, pos int) int {
+	lo, hi := 0, len(a)-1
+	for lo < hi {
+		pivot := a[lo+(hi-lo)/2]
+		lt, gt, i := lo, hi, lo
+		for i <= gt {
+			switch {
+			case a[i] < pivot:
+				a[lt], a[i] = a[i], a[lt]
+				lt++
+				i++
+			case a[i] > pivot:
+				a[gt], a[i] = a[i], a[gt]
+				gt--
+			default:
+				i++
+			}
+		}
+		switch {
+		case pos < lt:
+			hi = lt - 1
+		case pos > gt:
+			lo = gt + 1
+		default:
+			return a[pos]
+		}
+	}
+	return a[lo]
 }
 
 // taggedWindow is a loaded posting plus the function it came from.
@@ -148,19 +231,15 @@ type taggedWindow struct {
 // Search finds all near-duplicate sequences of query per opts
 // (Algorithm 3). Results are grouped per text into disjoint merged
 // spans, ordered by (TextID, Start).
+//
+// The query runs through the staged pipeline
+// sketch → plan → gather → count → merge → verify (see pipeline.go);
+// Search itself only orchestrates the stages and assembles Stats.
 func (s *Searcher) Search(query []uint32, opts Options) ([]Match, *Stats, error) {
 	start := time.Now()
-	ioBefore := s.ix.IOStats()
-	if opts.Theta <= 0 || opts.Theta > 1 {
-		return nil, nil, fmt.Errorf("search: Theta must be in (0, 1], got %v", opts.Theta)
-	}
-	meta := s.ix.Meta()
-	minLen := opts.MinLength
-	if minLen == 0 {
-		minLen = meta.T
-	}
-	if minLen < meta.T {
-		return nil, nil, fmt.Errorf("search: MinLength %d below index length threshold %d", minLen, meta.T)
+	minLen, err := opts.validate(s.ix.Meta(), s.src != nil)
+	if err != nil {
+		return nil, nil, err
 	}
 	if len(query) == 0 {
 		return nil, nil, fmt.Errorf("search: empty query")
@@ -171,211 +250,31 @@ func (s *Searcher) Search(query []uint32, opts Options) ([]Match, *Stats, error)
 		beta = 1
 	}
 	st := &Stats{K: k, Beta: beta}
+	qc := s.acquireCtx(opts, minLen, beta, st)
+	defer s.releaseCtx(qc)
 
-	sketch, err := s.ix.Family().Sketch(query)
+	if err := s.stageSketch(qc, query); err != nil {
+		return nil, nil, err
+	}
+	s.stagePlan(qc)
+	if err := s.stageGather(qc); err != nil {
+		return nil, nil, err
+	}
+	matches, err := s.stageCount(qc)
 	if err != nil {
 		return nil, nil, err
 	}
-
-	// Split the k lists into short (loaded fully) and long (deferred).
-	cutoff := opts.LongListThreshold
-	if cutoff == 0 {
-		cutoff = s.defaultCutoff
-	}
-	long := make([]bool, k)
-	if opts.CostBasedPrefix {
-		lens := make([]int, k)
-		for fn := 0; fn < k; fn++ {
-			lens[fn] = s.ix.ListLength(fn, sketch[fn])
-		}
-		long = ChooseDeferral(lens, beta, DefaultCostModel())
-	} else if opts.PrefixFilter {
-		type fnLen struct{ fn, n int }
-		lens := make([]fnLen, k)
-		for fn := 0; fn < k; fn++ {
-			lens[fn] = fnLen{fn, s.ix.ListLength(fn, sketch[fn])}
-		}
-		for _, fl := range lens {
-			if fl.n > cutoff {
-				long[fl.fn] = true
-			}
-		}
-		// A candidate must appear in >= beta lists, so it must hit at
-		// least one of the (k - beta + 1) shortest. Demote the shortest
-		// deferred lists until at most beta-1 remain long, keeping the
-		// filter threshold beta - numLong positive.
-		numLong := 0
-		for _, l := range long {
-			if l {
-				numLong++
-			}
-		}
-		if numLong > beta-1 {
-			sort.Slice(lens, func(i, j int) bool { return lens[i].n < lens[j].n })
-			for _, fl := range lens {
-				if numLong <= beta-1 {
-					break
-				}
-				if long[fl.fn] {
-					long[fl.fn] = false
-					numLong--
-				}
-			}
-		}
-	}
-
-	// Load short lists and group their windows by text.
-	groups := make(map[uint32][]taggedWindow)
-	numLong := 0
-	for fn := 0; fn < k; fn++ {
-		if long[fn] {
-			numLong++
-			continue
-		}
-		st.ShortLists++
-		ps, err := s.ix.ReadList(fn, sketch[fn])
-		if err != nil {
-			return nil, nil, err
-		}
-		for _, p := range ps {
-			groups[p.TextID] = append(groups[p.TextID], taggedWindow{fn: fn, p: p})
-		}
-	}
-	st.LongLists = numLong
-	alpha := beta - numLong
-	if alpha < 1 {
-		alpha = 1
-	}
-
-	var matches []Match
-	windows := make([]index.Posting, 0, 64)
-	for textID, group := range groups {
-		if len(group) < alpha {
-			continue
-		}
-		windows = windows[:0]
-		for _, tw := range group {
-			windows = append(windows, tw.p)
-		}
-		rects := CollisionCount(windows, alpha)
-		if len(rects) == 0 {
-			continue
-		}
-		st.Candidates++
-		if numLong > 0 {
-			// Probe the long lists for this text only (zone maps keep
-			// the read proportional to the text's postings).
-			st.Probed++
-			for fn := 0; fn < k; fn++ {
-				if !long[fn] {
-					continue
-				}
-				ps, err := s.ix.ReadListForText(fn, sketch[fn], textID)
-				if err != nil {
-					return nil, nil, err
-				}
-				windows = append(windows, ps...)
-			}
-			rects = CollisionCount(windows, beta)
-		}
-		m, ok := s.buildMatch(textID, rects, beta, minLen, opts, st)
-		if !ok {
-			continue
-		}
-		matches = append(matches, m...)
-	}
-	sort.Slice(matches, func(i, j int) bool {
-		if matches[i].TextID != matches[j].TextID {
-			return matches[i].TextID < matches[j].TextID
-		}
-		return matches[i].Start < matches[j].Start
-	})
 	if opts.Verify {
-		if err := s.verify(query, matches); err != nil {
+		if err := s.stageVerify(query, matches); err != nil {
 			return nil, nil, err
 		}
 	}
 	st.Matches = len(matches)
-	ioAfter := s.ix.IOStats()
-	st.IOBytes = ioAfter.BytesRead - ioBefore.BytesRead
-	st.IOTime = ioAfter.ReadTime - ioBefore.ReadTime
+	st.IOBytes = qc.io.BytesRead
+	st.IOTime = qc.io.ReadTime
 	st.Total = time.Since(start)
 	st.CPUTime = st.Total - st.IOTime
 	return matches, st, nil
-}
-
-// buildMatch filters rectangles to those holding a qualifying sequence
-// (count >= beta and a sequence of length >= minLen) and merges their
-// spans into disjoint matches.
-func (s *Searcher) buildMatch(textID uint32, rects []Rect, beta, minLen int, opts Options, st *Stats) ([]Match, bool) {
-	type spanRect struct {
-		span Interval
-		rect Rect
-	}
-	var qual []spanRect
-	for _, r := range rects {
-		if r.Count < beta || !r.HasSequenceOfLength(minLen) {
-			continue
-		}
-		qual = append(qual, spanRect{span: r.Span(), rect: r})
-	}
-	if len(qual) == 0 {
-		return nil, false
-	}
-	st.Rects += len(qual)
-	sort.Slice(qual, func(i, j int) bool { return qual[i].span.Lo < qual[j].span.Lo })
-	var out []Match
-	cur := Match{TextID: textID, Start: qual[0].span.Lo, End: qual[0].span.Hi, Collisions: qual[0].rect.Count}
-	if opts.KeepRects {
-		cur.Rects = []Rect{qual[0].rect}
-	}
-	for _, q := range qual[1:] {
-		if q.span.Lo <= cur.End { // overlapping: merge
-			if q.span.Hi > cur.End {
-				cur.End = q.span.Hi
-			}
-			if q.rect.Count > cur.Collisions {
-				cur.Collisions = q.rect.Count
-			}
-			if opts.KeepRects {
-				cur.Rects = append(cur.Rects, q.rect)
-			}
-		} else {
-			cur.EstJaccard = float64(cur.Collisions) / float64(st.K)
-			out = append(out, cur)
-			cur = Match{TextID: textID, Start: q.span.Lo, End: q.span.Hi, Collisions: q.rect.Count}
-			if opts.KeepRects {
-				cur.Rects = []Rect{q.rect}
-			}
-		}
-	}
-	cur.EstJaccard = float64(cur.Collisions) / float64(st.K)
-	out = append(out, cur)
-	return out, true
-}
-
-// verify fills Match.Jaccard with the exact distinct Jaccard similarity
-// between the query and each merged span.
-func (s *Searcher) verify(query []uint32, matches []Match) error {
-	if len(matches) == 0 {
-		return nil
-	}
-	if s.src == nil {
-		return fmt.Errorf("search: Verify requires a TextSource")
-	}
-	for i := range matches {
-		m := &matches[i]
-		text, err := s.src.ReadText(m.TextID)
-		if err != nil {
-			return fmt.Errorf("search: verify text %d: %w", m.TextID, err)
-		}
-		if int(m.End) >= len(text) {
-			return fmt.Errorf("search: match span [%d, %d] exceeds text %d length %d",
-				m.Start, m.End, m.TextID, len(text))
-		}
-		matches[i].Jaccard = hash.DistinctJaccard(query, text[m.Start:m.End+1])
-	}
-	return nil
 }
 
 // EnumerateSequences expands a rectangle into the concrete (start, end)

@@ -53,8 +53,17 @@ type SearchOptions = search.Options
 // Match is one reported near-duplicate span.
 type Match = search.Match
 
-// QueryStats describes one query's execution.
+// QueryStats describes one query's execution. Its IOBytes/IOTime/
+// CPUTime split comes from a per-query I/O sink and is exact even for
+// queries running concurrently (SearchBatch).
 type QueryStats = search.Stats
+
+// BatchResult is one query's outcome in a SearchBatch call.
+type BatchResult = search.BatchResult
+
+// QueryPlan is the deferral plan the staged query pipeline executes a
+// query with (which inverted lists are read fully vs. probed).
+type QueryPlan = search.Plan
 
 // TextSource resolves text ids to token sequences (for verification).
 type TextSource = search.TextSource
@@ -146,9 +155,16 @@ func (db *DB) SearchTopK(query []uint32, opts TopKOptions) ([]Match, *QueryStats
 }
 
 // SearchBatch runs many queries concurrently and returns per-query
-// results in order.
-func (db *DB) SearchBatch(queries [][]uint32, opts SearchOptions, parallelism int) []search.BatchResult {
-	return db.engine.Searcher().SearchBatch(queries, opts, parallelism)
+// results in order. Every result's QueryStats are exact for that query
+// at any parallelism.
+func (db *DB) SearchBatch(queries [][]uint32, opts SearchOptions, parallelism int) []BatchResult {
+	return db.engine.SearchBatch(queries, opts, parallelism)
+}
+
+// Explain returns the plan a query would execute with under opts,
+// without reading any posting lists.
+func (db *DB) Explain(query []uint32, opts SearchOptions) (*QueryPlan, error) {
+	return db.engine.Explain(query, opts)
 }
 
 // IndexStats summarizes the opened index.
