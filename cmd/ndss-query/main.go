@@ -56,6 +56,14 @@ func main() {
 
 func run(idxDir, corpusPath string, theta float64, tokens string, fromText, at, length int,
 	prefix, verify bool, queriesPath string, parallel int) error {
+	// Reject inconsistent flag combinations before touching the index so
+	// misuse fails fast instead of after an expensive open.
+	if verify && corpusPath == "" {
+		return fmt.Errorf("-verify requires -corpus (exact Jaccard needs the text content)")
+	}
+	if queriesPath != "" && (tokens != "" || fromText >= 0) {
+		return fmt.Errorf("-queries (batch mode) conflicts with -tokens/-from-text; provide one query source")
+	}
 	var src search.TextSource
 	var reader *corpus.Reader
 	if corpusPath != "" {

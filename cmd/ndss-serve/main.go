@@ -1,0 +1,113 @@
+// Command ndss-serve exposes an opened index as an HTTP JSON query
+// service.
+//
+//	ndss-serve -index idx -corpus corpus.tok -addr :8080
+//
+// Endpoints:
+//
+//	POST /search       {"tokens":[...],"theta":0.8,...} -> matches + stats
+//	POST /search/topk  {"tokens":[...],"n":10,"floor_theta":0.5,...}
+//	GET  /explain?tokens=1,2,3&theta=0.8  -> the query plan, no I/O
+//	GET  /healthz      200 while serving, 503 once shutdown begins
+//	GET  /metrics      JSON counters: requests, latency, cache, I/O
+//
+// Requests are bounded by an admission semaphore (-max-inflight; excess
+// returns 429) and a per-request deadline (the request's timeout_ms
+// field, default -timeout, capped at -max-timeout). SIGINT/SIGTERM
+// starts a graceful shutdown: new work is refused while in-flight
+// queries drain.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ndss/internal/core"
+	"ndss/internal/corpus"
+	"ndss/internal/search"
+	"ndss/internal/server"
+)
+
+func main() {
+	idxDir := flag.String("index", "idx", "index directory")
+	corpusPath := flag.String("corpus", "", "corpus file (enables \"verify\":true requests)")
+	addr := flag.String("addr", ":8080", "listen address")
+	maxInFlight := flag.Int("max-inflight", 64, "concurrent query limit before 429")
+	timeout := flag.Duration("timeout", 10*time.Second, "default per-request query deadline")
+	maxTimeout := flag.Duration("max-timeout", 60*time.Second, "cap on client-requested timeout_ms")
+	cacheEntries := flag.Int("cache", 256, "result cache entries (0 disables)")
+	drain := flag.Duration("drain", 30*time.Second, "shutdown drain allowance for in-flight requests")
+	flag.Parse()
+
+	if err := run(*idxDir, *corpusPath, *addr, *maxInFlight, *timeout, *maxTimeout, *cacheEntries, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "ndss-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(idxDir, corpusPath, addr string, maxInFlight int, timeout, maxTimeout time.Duration, cacheEntries int, drain time.Duration) error {
+	var src search.TextSource
+	if corpusPath != "" {
+		r, err := corpus.OpenReader(corpusPath)
+		if err != nil {
+			return err
+		}
+		defer r.Close()
+		src = r
+	}
+	engine, err := core.Open(idxDir, src)
+	if err != nil {
+		return err
+	}
+	defer engine.Close()
+
+	cache := cacheEntries
+	if cache == 0 {
+		cache = -1 // Config treats <0 as "disabled", 0 as "default"
+	}
+	srv := server.New(engine, server.Config{
+		MaxInFlight:    maxInFlight,
+		DefaultTimeout: timeout,
+		MaxTimeout:     maxTimeout,
+		CacheEntries:   cache,
+	})
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		meta := engine.Meta()
+		log.Printf("serving index %s (k=%d t=%d texts=%d) on %s", idxDir, meta.K, meta.T, meta.NumTexts, addr)
+		if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		log.Printf("received %v, draining in-flight requests", s)
+	}
+
+	srv.BeginShutdown()
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	log.Printf("drained, exiting")
+	return nil
+}

@@ -6,10 +6,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 
 	"ndss/internal/corpus"
+	"ndss/internal/hash"
 	"ndss/internal/index"
 	"ndss/internal/search"
 )
@@ -60,12 +62,39 @@ func (e *Engine) Search(query []uint32, opts search.Options) ([]search.Match, *s
 	return e.searcher.Search(query, opts)
 }
 
+// SearchContext is Search honoring a context: a timed-out or canceled
+// query stops at the pipeline's next cancellation checkpoint (before
+// any further list I/O) and returns ctx.Err().
+func (e *Engine) SearchContext(ctx context.Context, query []uint32, opts search.Options) ([]search.Match, *search.Stats, error) {
+	return e.searcher.SearchContext(ctx, query, opts)
+}
+
 // SearchBatch runs many queries concurrently over a worker pool. Each
 // result carries exact per-query I/O and CPU stats regardless of
 // parallelism (every query runs in its own execution context).
 func (e *Engine) SearchBatch(queries [][]uint32, opts search.Options, parallelism int) []search.BatchResult {
 	return e.searcher.SearchBatch(queries, opts, parallelism)
 }
+
+// SearchBatchContext is SearchBatch honoring a context; see
+// search.SearchBatchContext for the cancellation contract.
+func (e *Engine) SearchBatchContext(ctx context.Context, queries [][]uint32, opts search.Options, parallelism int) []search.BatchResult {
+	return e.searcher.SearchBatchContext(ctx, queries, opts, parallelism)
+}
+
+// SearchTopKContext runs a ranked top-k retrieval honoring a context.
+func (e *Engine) SearchTopKContext(ctx context.Context, query []uint32, opts search.TopKOptions) ([]search.Match, *search.Stats, error) {
+	return e.searcher.SearchTopKContext(ctx, query, opts)
+}
+
+// Meta returns the opened index's metadata.
+func (e *Engine) Meta() index.Meta { return e.ix.Meta() }
+
+// Family returns the hash family queries are sketched with.
+func (e *Engine) Family() *hash.Family { return e.ix.Family() }
+
+// IOStats returns the index-wide cumulative I/O counters.
+func (e *Engine) IOStats() index.IOStats { return e.ix.IOStats() }
 
 // Explain returns the deferral plan a query would execute with, without
 // reading any posting lists.

@@ -81,6 +81,11 @@ func (m *MemIndex) Family() *hash.Family { return m.family }
 // ListLength returns the posting count for hash h of function fn.
 func (m *MemIndex) ListLength(fn int, h uint64) int { return len(m.lists[fn][h]) }
 
+// HasZoneMap always reports true: MemIndex per-text probes are binary
+// searches over the id-sorted in-memory list, so deferral never pays
+// the full-read-per-candidate penalty a zone-map-less on-disk list does.
+func (m *MemIndex) HasZoneMap(fn int, h uint64) bool { return true }
+
 // ListLengths returns all list lengths of function fn, unordered.
 func (m *MemIndex) ListLengths(fn int) []int {
 	out := make([]int, 0, len(m.lists[fn]))

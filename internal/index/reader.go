@@ -185,6 +185,16 @@ func (ix *Index) ListLength(fn int, h uint64) int {
 	return int(e.Count)
 }
 
+// HasZoneMap reports whether the list for hash h of function fn carries
+// a zone map, i.e. whether per-text probes (ReadListForText) are
+// proportional to the zone step rather than the list length. Lists at
+// or below the build-time LongListCutoff have no zone map; deferring
+// them degrades probes to a full read plus filter per candidate.
+func (ix *Index) HasZoneMap(fn int, h uint64) bool {
+	e, ok := ix.files[fn].lookup(h)
+	return ok && e.ZoneCount > 0
+}
+
 // NumLists returns the number of inverted lists of function fn.
 func (ix *Index) NumLists(fn int) int { return len(ix.files[fn].entries) }
 
@@ -222,16 +232,22 @@ func getReadBuf(n int) *[]byte {
 }
 
 // readAt wraps ReadAt with I/O accounting: the index-wide cumulative
-// counters always, plus the caller's per-query sink when non-nil.
+// counters always, plus the caller's per-query sink when non-nil. The
+// counters record the bytes ReadAt actually returned, so a failed or
+// short read (truncated file, I/O error) is charged for what was read,
+// not for what was asked.
 func (ix *Index) readAt(ff *funcFile, buf []byte, off int64, sink *IOStats) error {
 	start := time.Now()
-	_, err := ff.f.ReadAt(buf, off)
+	n, err := ff.f.ReadAt(buf, off)
 	elapsed := time.Since(start)
 	ix.readNanos.Add(int64(elapsed))
-	ix.bytesRead.Add(int64(len(buf)))
+	ix.bytesRead.Add(int64(n))
 	if sink != nil {
-		sink.BytesRead += int64(len(buf))
+		sink.BytesRead += int64(n)
 		sink.ReadTime += elapsed
+	}
+	if err == nil && n < len(buf) {
+		err = io.ErrUnexpectedEOF
 	}
 	return err
 }

@@ -1,6 +1,9 @@
 package search
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // BatchResult is one query's outcome in a SearchBatch call.
 type BatchResult struct {
@@ -18,10 +21,18 @@ type BatchResult struct {
 // for that query at any parallelism; summed over the batch they equal
 // the index-wide IOStats delta.
 func (s *Searcher) SearchBatch(queries [][]uint32, opts Options, parallelism int) []BatchResult {
+	return s.SearchBatchContext(context.Background(), queries, opts, parallelism)
+}
+
+// SearchBatchContext is SearchBatch honoring a context: once ctx is
+// done, in-flight queries stop at their next cancellation checkpoint
+// and not-yet-started queries fail immediately, all with Err set to
+// ctx.Err().
+func (s *Searcher) SearchBatchContext(ctx context.Context, queries [][]uint32, opts Options, parallelism int) []BatchResult {
 	out := make([]BatchResult, len(queries))
 	if parallelism <= 1 {
 		for i, q := range queries {
-			out[i].Matches, out[i].Stats, out[i].Err = s.Search(q, opts)
+			out[i].Matches, out[i].Stats, out[i].Err = s.SearchContext(ctx, q, opts)
 		}
 		return out
 	}
@@ -35,12 +46,20 @@ func (s *Searcher) SearchBatch(queries [][]uint32, opts Options, parallelism int
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				out[i].Matches, out[i].Stats, out[i].Err = s.Search(queries[i], opts)
+				out[i].Matches, out[i].Stats, out[i].Err = s.SearchContext(ctx, queries[i], opts)
 			}
 		}()
 	}
+feed:
 	for i := range queries {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			for j := i; j < len(queries); j++ {
+				out[j].Err = ctx.Err()
+			}
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()

@@ -1,0 +1,107 @@
+package search
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"ndss/internal/index"
+)
+
+// cancellingReader wraps an IndexReader and cancels a context after a
+// given number of list reads, simulating a deadline expiring mid-query.
+type cancellingReader struct {
+	IndexReader
+	cancel     context.CancelFunc
+	afterReads int32
+	reads      atomic.Int32
+}
+
+func (r *cancellingReader) ReadListInto(dst []index.Posting, fn int, h uint64, sink *index.IOStats) ([]index.Posting, error) {
+	if r.reads.Add(1) >= r.afterReads {
+		r.cancel()
+	}
+	return r.IndexReader.ReadListInto(dst, fn, h, sink)
+}
+
+func TestSearchContextAlreadyCanceled(t *testing.T) {
+	c := smallDupCorpus(20, 30, 80, 30, 13)
+	ix := buildTestIndex(t, c, 8, 9, 5, 0, 0)
+	s := New(ix, c)
+	q := c.Text(0)[:12]
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := ix.IOStats()
+	ms, st, err := s.SearchContext(ctx, q, Options{Theta: 0.5})
+	after := ix.IOStats()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if ms != nil || st != nil {
+		t.Fatalf("canceled query returned results: %v, %v", ms, st)
+	}
+	if after != before {
+		t.Fatalf("canceled query performed I/O: %+v -> %+v", before, after)
+	}
+}
+
+func TestSearchContextCanceledMidGather(t *testing.T) {
+	c := smallDupCorpus(20, 30, 80, 30, 13)
+	ix := buildTestIndex(t, c, 8, 9, 5, 0, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cr := &cancellingReader{IndexReader: ix, cancel: cancel, afterReads: 2}
+	s := New(cr, c)
+	q := c.Text(0)[:12]
+
+	_, _, err := s.SearchContext(ctx, q, Options{Theta: 0.5})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// The checkpoint before the third read must have stopped the gather:
+	// the cancel fired during read 2, so at most 2 of the 8 lists were
+	// read.
+	if got := cr.reads.Load(); got > 2 {
+		t.Fatalf("%d lists read after cancellation (checkpoint skipped)", got)
+	}
+}
+
+func TestSearchBatchContextCanceled(t *testing.T) {
+	c := smallDupCorpus(20, 30, 80, 30, 13)
+	ix := buildTestIndex(t, c, 8, 9, 5, 0, 0)
+	s := New(ix, c)
+	queries := concurrencyQueries(t, c, 8, 30)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, parallelism := range []int{1, 4} {
+		for i, res := range s.SearchBatchContext(ctx, queries, Options{Theta: 0.5}, parallelism) {
+			if !errors.Is(res.Err, context.Canceled) {
+				t.Fatalf("parallelism %d query %d: want context.Canceled, got %v", parallelism, i, res.Err)
+			}
+		}
+	}
+}
+
+// TestSearchContextBackground: a background context must not change
+// results or stats relative to plain Search.
+func TestSearchContextBackground(t *testing.T) {
+	c := smallDupCorpus(20, 30, 80, 30, 13)
+	ix := buildTestIndex(t, c, 8, 9, 5, 4, 8)
+	s := New(ix, c)
+	q := c.Text(0)[:12]
+	opts := Options{Theta: 0.5, PrefixFilter: true, LongListThreshold: 10, Verify: true}
+	wantM, wantSt, err := s.Search(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotM, gotSt, err := s.SearchContext(context.Background(), q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotM) != len(wantM) || gotSt.IOBytes != wantSt.IOBytes || gotSt.ShortLists != wantSt.ShortLists {
+		t.Fatalf("context search diverged: %+v vs %+v", gotSt, wantSt)
+	}
+}

@@ -13,6 +13,7 @@ package search
 // Stats.IOBytes/IOTime are exact at any concurrency.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -42,6 +43,7 @@ type Plan struct {
 // deferral plan, and the I/O stats sink. A context is owned by exactly
 // one query from acquireCtx to releaseCtx.
 type queryCtx struct {
+	ctx    context.Context
 	opts   Options
 	minLen int
 
@@ -67,17 +69,25 @@ type spanRect struct {
 	rect Rect
 }
 
-func (s *Searcher) acquireCtx(opts Options, minLen, beta int, st *Stats) *queryCtx {
+func (s *Searcher) acquireCtx(ctx context.Context, opts Options, minLen, beta int, st *Stats) *queryCtx {
 	qc, _ := s.ctxPool.Get().(*queryCtx)
 	if qc == nil {
 		qc = &queryCtx{groups: make(map[uint32][]taggedWindow)}
 	}
+	qc.ctx = ctx
 	qc.opts = opts
 	qc.minLen = minLen
 	qc.plan.Beta = beta
 	qc.st = st
 	qc.io = index.IOStats{}
 	return qc
+}
+
+// checkCancel is the pipeline's cancellation checkpoint: it reports the
+// query context's error, if any. Stages call it between each other and
+// before every list read or probe, so no I/O starts after the deadline.
+func (qc *queryCtx) checkCancel() error {
+	return qc.ctx.Err()
 }
 
 func (s *Searcher) releaseCtx(qc *queryCtx) {
@@ -92,6 +102,7 @@ func (s *Searcher) releaseCtx(qc *queryCtx) {
 	qc.windows = qc.windows[:0]
 	qc.qual = qc.qual[:0]
 	qc.st = nil
+	qc.ctx = nil
 	s.ctxPool.Put(qc)
 }
 
@@ -165,6 +176,20 @@ func (s *Searcher) stagePlan(qc *queryCtx) {
 			}
 		}
 	}
+	// Never defer a list the reader cannot probe cheaply: without a zone
+	// map, ReadListForText degrades to a full read plus filter for every
+	// candidate text — strictly worse than the single up-front read a
+	// short list costs. (Query-time cutoffs below the build-time
+	// LongListCutoff, and the cost model, can otherwise produce such
+	// plans.)
+	if qc.plan.NumLong > 0 {
+		for fn := range qc.plan.Long {
+			if qc.plan.Long[fn] && !s.ix.HasZoneMap(fn, qc.sketch[fn]) {
+				qc.plan.Long[fn] = false
+				qc.plan.NumLong--
+			}
+		}
+	}
 	qc.plan.Alpha = beta - qc.plan.NumLong
 	if qc.plan.Alpha < 1 {
 		qc.plan.Alpha = 1
@@ -177,6 +202,9 @@ func (s *Searcher) stageGather(qc *queryCtx) error {
 	for fn := range qc.plan.Long {
 		if qc.plan.Long[fn] {
 			continue
+		}
+		if err := qc.checkCancel(); err != nil {
+			return err
 		}
 		qc.st.ShortLists++
 		ps, err := s.ix.ReadListInto(qc.postings[:0], fn, qc.sketch[fn], &qc.io)
@@ -239,6 +267,9 @@ func (s *Searcher) countText(qc *queryCtx, textID uint32, group []taggedWindow) 
 			if !qc.plan.Long[fn] {
 				continue
 			}
+			if err := qc.checkCancel(); err != nil {
+				return nil, err
+			}
 			ws, err := s.ix.ReadListForTextInto(qc.windows, fn, qc.sketch[fn], textID, &qc.io)
 			if err != nil {
 				return nil, err
@@ -299,8 +330,11 @@ func (s *Searcher) mergeText(qc *queryCtx, textID uint32, rects []Rect) []Match 
 // stageVerify fills Match.Jaccard with the exact distinct Jaccard
 // similarity between the query and each merged span. validate has
 // already guaranteed a TextSource is attached.
-func (s *Searcher) stageVerify(query []uint32, matches []Match) error {
+func (s *Searcher) stageVerify(qc *queryCtx, query []uint32, matches []Match) error {
 	for i := range matches {
+		if err := qc.checkCancel(); err != nil {
+			return err
+		}
 		m := &matches[i]
 		text, err := s.src.ReadText(m.TextID)
 		if err != nil {
@@ -331,7 +365,7 @@ func (s *Searcher) Explain(query []uint32, opts Options) (*Plan, error) {
 	if beta < 1 {
 		beta = 1
 	}
-	qc := s.acquireCtx(opts, minLen, beta, &Stats{K: k, Beta: beta})
+	qc := s.acquireCtx(context.Background(), opts, minLen, beta, &Stats{K: k, Beta: beta})
 	defer s.releaseCtx(qc)
 	if err := s.stageSketch(qc, query); err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -33,6 +34,12 @@ type IndexReader interface {
 	Family() *hash.Family
 	ListLength(fn int, h uint64) int
 	ListLengths(fn int) []int
+	// HasZoneMap reports whether per-text probes into the list for hash
+	// h of function fn are cheap (zone-mapped on disk, or in-memory).
+	// The planner never defers a list without one: a zone-map-less
+	// probe degrades to a full read plus filter per candidate, which is
+	// strictly worse than reading the list once up front.
+	HasZoneMap(fn int, h uint64) bool
 	ReadList(fn int, h uint64) ([]index.Posting, error)
 	ReadListInto(dst []index.Posting, fn int, h uint64, sink *index.IOStats) ([]index.Posting, error)
 	ReadListForText(fn int, h uint64, textID uint32) ([]index.Posting, error)
@@ -230,12 +237,23 @@ type taggedWindow struct {
 
 // Search finds all near-duplicate sequences of query per opts
 // (Algorithm 3). Results are grouped per text into disjoint merged
-// spans, ordered by (TextID, Start).
+// spans, ordered by (TextID, Start). It is SearchContext without
+// cancellation.
+func (s *Searcher) Search(query []uint32, opts Options) ([]Match, *Stats, error) {
+	return s.SearchContext(context.Background(), query, opts)
+}
+
+// SearchContext is Search honoring a context. Cancellation is checked
+// between pipeline stages and before every list read or probe, so a
+// timed-out or abandoned query stops issuing I/O promptly and returns
+// ctx.Err(). Work already done is still charged to the index-wide I/O
+// counters (per-query sums over successful queries remain exact).
 //
 // The query runs through the staged pipeline
 // sketch → plan → gather → count → merge → verify (see pipeline.go);
-// Search itself only orchestrates the stages and assembles Stats.
-func (s *Searcher) Search(query []uint32, opts Options) ([]Match, *Stats, error) {
+// SearchContext itself only orchestrates the stages and assembles
+// Stats.
+func (s *Searcher) SearchContext(ctx context.Context, query []uint32, opts Options) ([]Match, *Stats, error) {
 	start := time.Now()
 	minLen, err := opts.validate(s.ix.Meta(), s.src != nil)
 	if err != nil {
@@ -244,19 +262,25 @@ func (s *Searcher) Search(query []uint32, opts Options) ([]Match, *Stats, error)
 	if len(query) == 0 {
 		return nil, nil, fmt.Errorf("search: empty query")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	k := s.ix.K()
 	beta := int(math.Ceil(float64(k) * opts.Theta))
 	if beta < 1 {
 		beta = 1
 	}
 	st := &Stats{K: k, Beta: beta}
-	qc := s.acquireCtx(opts, minLen, beta, st)
+	qc := s.acquireCtx(ctx, opts, minLen, beta, st)
 	defer s.releaseCtx(qc)
 
 	if err := s.stageSketch(qc, query); err != nil {
 		return nil, nil, err
 	}
 	s.stagePlan(qc)
+	if err := qc.checkCancel(); err != nil {
+		return nil, nil, err
+	}
 	if err := s.stageGather(qc); err != nil {
 		return nil, nil, err
 	}
@@ -265,7 +289,7 @@ func (s *Searcher) Search(query []uint32, opts Options) ([]Match, *Stats, error)
 		return nil, nil, err
 	}
 	if opts.Verify {
-		if err := s.stageVerify(query, matches); err != nil {
+		if err := s.stageVerify(qc, query, matches); err != nil {
 			return nil, nil, err
 		}
 	}

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
@@ -24,6 +25,12 @@ type TopKOptions struct {
 // spans by their collision counts, so its cost equals a single
 // low-threshold query.
 func (s *Searcher) SearchTopK(query []uint32, opts TopKOptions) ([]Match, *Stats, error) {
+	return s.SearchTopKContext(context.Background(), query, opts)
+}
+
+// SearchTopKContext is SearchTopK honoring a context; see SearchContext
+// for the cancellation contract.
+func (s *Searcher) SearchTopKContext(ctx context.Context, query []uint32, opts TopKOptions) ([]Match, *Stats, error) {
 	if opts.N <= 0 {
 		return nil, nil, fmt.Errorf("search: TopK N must be positive, got %d", opts.N)
 	}
@@ -36,7 +43,7 @@ func (s *Searcher) SearchTopK(query []uint32, opts TopKOptions) ([]Match, *Stats
 	}
 	sOpts := opts.Search
 	sOpts.Theta = floor
-	matches, st, err := s.Search(query, sOpts)
+	matches, st, err := s.SearchContext(ctx, query, sOpts)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -59,6 +59,62 @@ func TestSearchTopK(t *testing.T) {
 	}
 }
 
+// TestSearchTopKTies: when several matches share the boundary collision
+// count, ranking must fall back to (TextID, Start) so the order — and
+// the truncation at N — is deterministic across runs.
+func TestSearchTopKTies(t *testing.T) {
+	// Five identical copies of one passage: all five matches collide on
+	// every min-hash, a five-way tie at the truncation boundary.
+	passage := make([]uint32, 40)
+	for i := range passage {
+		passage[i] = uint32(200 + i)
+	}
+	const copies = 5
+	var texts [][]uint32
+	for i := 0; i < copies; i++ {
+		texts = append(texts, append([]uint32{}, passage...))
+	}
+	noise := make([]uint32, 40)
+	for i := range noise {
+		noise[i] = uint32(7000 + i)
+	}
+	texts = append(texts, noise)
+	c := corpus.New(texts)
+	ix := buildTestIndex(t, c, 16, 91, 10, 0, 0)
+	s := New(ix, c)
+
+	const n = 3
+	var first []Match
+	for run := 0; run < 5; run++ {
+		ms, _, err := s.SearchTopK(passage, TopKOptions{N: n, FloorTheta: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ms) != n {
+			t.Fatalf("run %d: got %d matches, want %d", run, len(ms), n)
+		}
+		for i, m := range ms {
+			if m.TextID != uint32(i) {
+				t.Fatalf("run %d: rank %d is text %d, want %d (tie not broken by TextID)",
+					run, i, m.TextID, i)
+			}
+			if m.Collisions != ms[0].Collisions {
+				t.Fatalf("run %d: collision counts differ among identical copies: %+v", run, ms)
+			}
+		}
+		if run == 0 {
+			first = ms
+		} else {
+			for i := range ms {
+				if ms[i].TextID != first[i].TextID || ms[i].Start != first[i].Start ||
+					ms[i].End != first[i].End || ms[i].Collisions != first[i].Collisions {
+					t.Fatalf("run %d: truncation unstable: %+v vs %+v", run, ms[i], first[i])
+				}
+			}
+		}
+	}
+}
+
 func TestSearchTopKValidation(t *testing.T) {
 	c := smallDupCorpus(5, 20, 40, 30, 3)
 	ix := buildTestIndex(t, c, 4, 63, 5, 0, 0)

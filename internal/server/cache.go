@@ -1,0 +1,116 @@
+package server
+
+import (
+	"container/list"
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"ndss/internal/search"
+)
+
+// resultCache is a mutex-guarded LRU of fully computed query results,
+// keyed by (endpoint, sketch, options). Keying on the min-hash sketch
+// rather than the raw tokens means distinct queries that sketch
+// identically — and therefore produce identical collision sets — share
+// an entry. When Verify is on the exact Jaccard values do depend on the
+// raw tokens, so a token digest is folded into the key.
+type resultCache struct {
+	mu  sync.Mutex
+	max int
+	ll  *list.List // front = most recent
+	m   map[string]*list.Element
+}
+
+// cacheEntry is one cached result. Matches and Stats are shared between
+// the cache and every response served from it and must be treated as
+// immutable.
+type cacheEntry struct {
+	key     string
+	matches []search.Match
+	stats   search.Stats
+}
+
+func newResultCache(max int) *resultCache {
+	if max <= 0 {
+		return nil
+	}
+	return &resultCache{max: max, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+func (c *resultCache) get(key string) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry), true
+}
+
+func (c *resultCache) put(e *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[e.key]; ok {
+		el.Value = e
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[e.key] = c.ll.PushFront(e)
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// cacheKey builds the (endpoint, sketch, options) key. kind tags the
+// endpoint ('S' search, 'K' top-k) so the two result shapes never
+// collide. topN and floor are zero for plain searches.
+func cacheKey(kind byte, sketch []uint64, query []uint32, o search.Options, topN int, floor float64) string {
+	b := make([]byte, 0, 1+8*(len(sketch)+6))
+	b = append(b, kind)
+	var tmp [8]byte
+	app64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		b = append(b, tmp[:]...)
+	}
+	for _, h := range sketch {
+		app64(h)
+	}
+	app64(math.Float64bits(o.Theta))
+	app64(uint64(o.MinLength))
+	app64(uint64(o.LongListThreshold))
+	var flags uint64
+	if o.PrefixFilter {
+		flags |= 1
+	}
+	if o.CostBasedPrefix {
+		flags |= 2
+	}
+	if o.Verify {
+		flags |= 4
+	}
+	app64(flags)
+	app64(uint64(topN))
+	app64(math.Float64bits(floor))
+	if o.Verify {
+		// Exact Jaccard depends on the query's distinct token set, not
+		// just its sketch.
+		d := fnv.New64a()
+		for _, tok := range query {
+			binary.LittleEndian.PutUint32(tmp[:4], tok)
+			d.Write(tmp[:4])
+		}
+		app64(d.Sum64())
+	}
+	return string(b)
+}

@@ -1,0 +1,138 @@
+package server
+
+import (
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"ndss/internal/search"
+)
+
+// latencyBucketsMS are the upper bounds (milliseconds) of the request
+// latency histogram; the implicit last bucket is +Inf.
+var latencyBucketsMS = [...]float64{0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000}
+
+type histogram struct {
+	counts [len(latencyBucketsMS) + 1]atomic.Int64
+	count  atomic.Int64
+	sumNS  atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for i < len(latencyBucketsMS) && ms > latencyBucketsMS[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+}
+
+// metrics is the server's counter surface, exposed as JSON by /metrics.
+// Everything is atomic; there is no lock on the request path.
+type metrics struct {
+	start time.Time
+
+	inFlight atomic.Int64
+
+	requests  atomic.Int64 // admitted query requests (search/topk/explain)
+	searches  atomic.Int64
+	topk      atomic.Int64
+	explains  atomic.Int64
+	rejected  atomic.Int64 // 429: admission semaphore saturated
+	refused   atomic.Int64 // 503: shutting down
+	badInput  atomic.Int64 // 400
+	timeouts  atomic.Int64 // 504: deadline exceeded mid-query
+	canceled  atomic.Int64 // client went away mid-query
+	internals atomic.Int64 // 500
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+
+	// Aggregated per-query Stats/IOStats of executed (non-cached)
+	// searches. Exact because every query reports from its private sink.
+	matches   atomic.Int64
+	ioBytes   atomic.Int64
+	ioTimeNS  atomic.Int64
+	cpuTimeNS atomic.Int64
+
+	latency histogram
+}
+
+func (m *metrics) recordStats(st *search.Stats) {
+	if st == nil {
+		return
+	}
+	m.matches.Add(int64(st.Matches))
+	m.ioBytes.Add(st.IOBytes)
+	m.ioTimeNS.Add(int64(st.IOTime))
+	m.cpuTimeNS.Add(int64(st.CPUTime))
+}
+
+// snapshot renders the counters into the JSON shape /metrics serves.
+func (m *metrics) snapshot(cacheLen, cacheCap int, ix indexSnapshot) map[string]any {
+	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
+	hitRate := 0.0
+	if hits+misses > 0 {
+		hitRate = float64(hits) / float64(hits+misses)
+	}
+	buckets := make(map[string]int64, len(latencyBucketsMS)+1)
+	for i, ub := range latencyBucketsMS {
+		buckets[formatMS(ub)] = m.latency.counts[i].Load()
+	}
+	buckets["+Inf"] = m.latency.counts[len(latencyBucketsMS)].Load()
+	count := m.latency.count.Load()
+	meanMS := 0.0
+	if count > 0 {
+		meanMS = float64(m.latency.sumNS.Load()) / float64(count) / float64(time.Millisecond)
+	}
+	return map[string]any{
+		"uptime_seconds": time.Since(m.start).Seconds(),
+		"in_flight":      m.inFlight.Load(),
+		"requests": map[string]int64{
+			"total":          m.requests.Load(),
+			"search":         m.searches.Load(),
+			"topk":           m.topk.Load(),
+			"explain":        m.explains.Load(),
+			"rejected":       m.rejected.Load(),
+			"refused":        m.refused.Load(),
+			"bad_request":    m.badInput.Load(),
+			"timeout":        m.timeouts.Load(),
+			"canceled":       m.canceled.Load(),
+			"internal_error": m.internals.Load(),
+		},
+		"latency": map[string]any{
+			"count":      count,
+			"mean_ms":    meanMS,
+			"buckets_ms": buckets,
+		},
+		"cache": map[string]any{
+			"hits":     hits,
+			"misses":   misses,
+			"hit_rate": hitRate,
+			"size":     cacheLen,
+			"capacity": cacheCap,
+		},
+		"query": map[string]int64{
+			"matches":     m.matches.Load(),
+			"io_bytes":    m.ioBytes.Load(),
+			"io_time_ns":  m.ioTimeNS.Load(),
+			"cpu_time_ns": m.cpuTimeNS.Load(),
+		},
+		"index": ix,
+	}
+}
+
+// indexSnapshot is the index-level slice of /metrics.
+type indexSnapshot struct {
+	K          int   `json:"k"`
+	T          int   `json:"t"`
+	NumTexts   int   `json:"num_texts"`
+	BytesRead  int64 `json:"bytes_read"`
+	ReadTimeNS int64 `json:"read_time_ns"`
+}
+
+func formatMS(ub float64) string {
+	return strconv.FormatFloat(ub, 'g', -1, 64)
+}

@@ -1,0 +1,501 @@
+// Package server exposes an opened ndss index as an HTTP JSON query
+// service: the production layer the paper's deployment story implies
+// (memorization audits are sustained query traffic against one index).
+//
+// Endpoints:
+//
+//	POST /search        near-duplicate search (search.Options over JSON)
+//	POST /search/topk   ranked top-k retrieval
+//	GET|POST /explain   the deferral plan a query would run with (no I/O)
+//	GET  /healthz       liveness; 503 once shutdown has begun
+//	GET  /metrics       counters: requests, latency histogram, cache
+//	                    hit rate, aggregated per-query Stats/IOStats
+//
+// The server bounds concurrent query work with an admission semaphore
+// (saturation → 429), applies a per-request deadline (the `timeout_ms`
+// request field, capped by Config.MaxTimeout) whose expiry cancels the
+// query at the pipeline's next checkpoint, and serves repeated queries
+// from an LRU cache keyed by (sketch, options).
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"ndss/internal/hash"
+	"ndss/internal/index"
+	"ndss/internal/search"
+)
+
+// Backend is the query surface the server needs. *core.Engine satisfies
+// it; tests substitute slow or failing implementations.
+type Backend interface {
+	SearchContext(ctx context.Context, query []uint32, opts search.Options) ([]search.Match, *search.Stats, error)
+	SearchTopKContext(ctx context.Context, query []uint32, opts search.TopKOptions) ([]search.Match, *search.Stats, error)
+	Explain(query []uint32, opts search.Options) (*search.Plan, error)
+	Meta() index.Meta
+	Family() *hash.Family
+	IOStats() index.IOStats
+}
+
+// Config tunes the service. Zero values select the defaults.
+type Config struct {
+	// MaxInFlight bounds concurrently executing queries (admission
+	// semaphore); excess requests get 429. Default 64.
+	MaxInFlight int
+	// DefaultTimeout applies when a request carries no timeout_ms.
+	// Default 10s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps any requested timeout. Default 60s.
+	MaxTimeout time.Duration
+	// CacheEntries sizes the result LRU. Default 256; negative disables
+	// caching.
+	CacheEntries int
+}
+
+func (c *Config) setDefaults() {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+}
+
+// Server is the HTTP query service. Create with New, serve via any
+// http.Server (it implements http.Handler), and call BeginShutdown
+// before http.Server.Shutdown so health checks fail first and new
+// queries are refused while in-flight ones drain.
+type Server struct {
+	backend Backend
+	cfg     Config
+	sem     chan struct{}
+	cache   *resultCache // nil when disabled
+	met     metrics
+	mux     *http.ServeMux
+	closing atomic.Bool
+}
+
+// New builds a Server over an opened backend.
+func New(b Backend, cfg Config) *Server {
+	cfg.setDefaults()
+	s := &Server{
+		backend: b,
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		cache:   newResultCache(cfg.CacheEntries),
+		met:     metrics{start: time.Now()},
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/search", s.handleSearch)
+	s.mux.HandleFunc("/search/topk", s.handleTopK)
+	s.mux.HandleFunc("/explain", s.handleExplain)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// BeginShutdown flips the server into draining mode: /healthz reports
+// 503 (load balancers stop routing here) and new query requests are
+// refused, while requests already executing run to completion. Pair
+// with http.Server.Shutdown, which waits for the in-flight ones.
+func (s *Server) BeginShutdown() { s.closing.Store(true) }
+
+// searchRequest is the JSON body of /search, /search/topk and /explain.
+type searchRequest struct {
+	Tokens []uint32 `json:"tokens"`
+	Theta  float64  `json:"theta"`
+
+	MinLength         int  `json:"min_length,omitempty"`
+	PrefixFilter      bool `json:"prefix_filter,omitempty"`
+	LongListThreshold int  `json:"long_list_threshold,omitempty"`
+	CostBased         bool `json:"cost_based,omitempty"`
+	Verify            bool `json:"verify,omitempty"`
+
+	// TimeoutMS bounds this request's execution; 0 selects the server
+	// default.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+
+	// Top-k only.
+	N          int     `json:"n,omitempty"`
+	FloorTheta float64 `json:"floor_theta,omitempty"`
+}
+
+func (r searchRequest) options() search.Options {
+	return search.Options{
+		Theta:             r.Theta,
+		MinLength:         r.MinLength,
+		PrefixFilter:      r.PrefixFilter,
+		LongListThreshold: r.LongListThreshold,
+		CostBasedPrefix:   r.CostBased,
+		Verify:            r.Verify,
+	}
+}
+
+type matchJSON struct {
+	TextID     uint32  `json:"text_id"`
+	Start      int32   `json:"start"`
+	End        int32   `json:"end"`
+	Collisions int     `json:"collisions"`
+	EstJaccard float64 `json:"est_jaccard"`
+	Jaccard    float64 `json:"jaccard,omitempty"`
+}
+
+type statsJSON struct {
+	K          int   `json:"k"`
+	Beta       int   `json:"beta"`
+	ShortLists int   `json:"short_lists"`
+	LongLists  int   `json:"long_lists"`
+	Candidates int   `json:"candidates"`
+	Probed     int   `json:"probed"`
+	Matches    int   `json:"matches"`
+	IOBytes    int64 `json:"io_bytes"`
+	IOTimeNS   int64 `json:"io_time_ns"`
+	CPUTimeNS  int64 `json:"cpu_time_ns"`
+	TotalNS    int64 `json:"total_ns"`
+}
+
+type searchResponse struct {
+	Matches []matchJSON `json:"matches"`
+	Stats   statsJSON   `json:"stats"`
+	Cached  bool        `json:"cached,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func toMatchJSON(ms []search.Match) []matchJSON {
+	out := make([]matchJSON, len(ms))
+	for i, m := range ms {
+		out[i] = matchJSON{
+			TextID: m.TextID, Start: m.Start, End: m.End,
+			Collisions: m.Collisions, EstJaccard: m.EstJaccard, Jaccard: m.Jaccard,
+		}
+	}
+	return out
+}
+
+func toStatsJSON(st search.Stats) statsJSON {
+	return statsJSON{
+		K: st.K, Beta: st.Beta, ShortLists: st.ShortLists, LongLists: st.LongLists,
+		Candidates: st.Candidates, Probed: st.Probed, Matches: st.Matches,
+		IOBytes: st.IOBytes, IOTimeNS: int64(st.IOTime), CPUTimeNS: int64(st.CPUTime),
+		TotalNS: int64(st.Total),
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	switch status {
+	case http.StatusBadRequest:
+		s.met.badInput.Add(1)
+	case http.StatusTooManyRequests:
+		s.met.rejected.Add(1)
+	case http.StatusServiceUnavailable:
+		s.met.refused.Add(1)
+	case http.StatusGatewayTimeout:
+		s.met.timeouts.Add(1)
+	case http.StatusInternalServerError:
+		s.met.internals.Add(1)
+	}
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+// decodeRequest parses a query request from a POST JSON body, or — for
+// /explain convenience — from URL query parameters on GET.
+func decodeRequest(r *http.Request) (searchRequest, error) {
+	var req searchRequest
+	if r.Method == http.MethodGet {
+		q := r.URL.Query()
+		if _, err := fmt.Sscanf(q.Get("theta"), "%g", &req.Theta); err != nil {
+			return req, fmt.Errorf("theta parameter: %w", err)
+		}
+		for _, part := range splitTokens(q.Get("tokens")) {
+			var tok uint32
+			if _, err := fmt.Sscanf(part, "%d", &tok); err != nil {
+				return req, fmt.Errorf("bad token %q", part)
+			}
+			req.Tokens = append(req.Tokens, tok)
+		}
+		req.PrefixFilter = q.Get("prefix_filter") == "true" || q.Get("prefix_filter") == "1"
+		req.CostBased = q.Get("cost_based") == "true" || q.Get("cost_based") == "1"
+		return req, nil
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return req, fmt.Errorf("decode request: %w", err)
+	}
+	return req, nil
+}
+
+func splitTokens(s string) []string {
+	var out []string
+	start := -1
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' || s[i] == ' ' {
+			if start >= 0 {
+				out = append(out, s[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	return out
+}
+
+// admit reserves an execution slot, or reports why it could not. The
+// returned release func is non-nil iff admission succeeded.
+func (s *Server) admit(w http.ResponseWriter) func() {
+	if s.closing.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return nil
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.writeError(w, http.StatusTooManyRequests, "server saturated: too many in-flight queries")
+		return nil
+	}
+	s.met.inFlight.Add(1)
+	return func() {
+		s.met.inFlight.Add(-1)
+		<-s.sem
+	}
+}
+
+// deadline derives the request's execution context.
+func (s *Server) deadline(r *http.Request, req searchRequest) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		d = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// finish maps a query error onto an HTTP response and the counters.
+func (s *Server) finish(w http.ResponseWriter, err error) bool {
+	switch {
+	case err == nil:
+		return true
+	case errors.Is(err, context.DeadlineExceeded):
+		s.writeError(w, http.StatusGatewayTimeout, "deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		// Client went away; nobody reads the response, but account for it.
+		s.met.canceled.Add(1)
+		w.WriteHeader(499) // client closed request (nginx convention)
+	default:
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+	}
+	return false
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	req, err := decodeRequest(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.serveQuery(w, r, req, false)
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	req, err := decodeRequest(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.N <= 0 {
+		s.writeError(w, http.StatusBadRequest, "n must be positive")
+		return
+	}
+	s.serveQuery(w, r, req, true)
+}
+
+// serveQuery is the shared execution path of /search and /search/topk:
+// validate → cache probe → admission → deadline → query → respond.
+func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, req searchRequest, topk bool) {
+	start := time.Now()
+	if s.closing.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	if len(req.Tokens) == 0 {
+		s.writeError(w, http.StatusBadRequest, "empty query: tokens required")
+		return
+	}
+	opts := req.options()
+	theta := opts.Theta
+	if topk {
+		theta = req.FloorTheta
+		if theta == 0 {
+			theta = 0.5 // SearchTopK's default floor; keep the key aligned
+		}
+	}
+	if theta <= 0 || theta > 1 {
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("theta must be in (0, 1], got %v", theta))
+		return
+	}
+	sketch, err := s.backend.Family().Sketch(req.Tokens)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	kind, n, floor := byte('S'), 0, 0.0
+	if topk {
+		kind, n, floor = 'K', req.N, theta
+	}
+	key := cacheKey(kind, sketch, req.Tokens, opts, n, floor)
+	if s.cache != nil {
+		if e, ok := s.cache.get(key); ok {
+			s.met.requests.Add(1)
+			s.bumpEndpoint(topk)
+			s.met.cacheHits.Add(1)
+			writeJSON(w, http.StatusOK, searchResponse{
+				Matches: toMatchJSON(e.matches), Stats: toStatsJSON(e.stats), Cached: true,
+			})
+			s.met.latency.observe(time.Since(start))
+			return
+		}
+	}
+
+	release := s.admit(w)
+	if release == nil {
+		return
+	}
+	defer release()
+	s.met.requests.Add(1)
+	s.bumpEndpoint(topk)
+	if s.cache != nil {
+		s.met.cacheMisses.Add(1)
+	}
+
+	ctx, cancel := s.deadline(r, req)
+	defer cancel()
+
+	var (
+		matches []search.Match
+		st      *search.Stats
+	)
+	if topk {
+		matches, st, err = s.backend.SearchTopKContext(ctx, req.Tokens, search.TopKOptions{
+			N: req.N, FloorTheta: req.FloorTheta, Search: opts,
+		})
+	} else {
+		matches, st, err = s.backend.SearchContext(ctx, req.Tokens, opts)
+	}
+	if err != nil {
+		// Validation errors surface as 400, not 500.
+		if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+			s.writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		s.finish(w, err)
+		return
+	}
+	s.met.recordStats(st)
+	if s.cache != nil {
+		s.cache.put(&cacheEntry{key: key, matches: matches, stats: *st})
+	}
+	writeJSON(w, http.StatusOK, searchResponse{Matches: toMatchJSON(matches), Stats: toStatsJSON(*st)})
+	s.met.latency.observe(time.Since(start))
+}
+
+func (s *Server) bumpEndpoint(topk bool) {
+	if topk {
+		s.met.topk.Add(1)
+	} else {
+		s.met.searches.Add(1)
+	}
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		w.Header().Set("Allow", "GET, POST")
+		s.writeError(w, http.StatusMethodNotAllowed, "GET or POST required")
+		return
+	}
+	req, err := decodeRequest(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(req.Tokens) == 0 {
+		s.writeError(w, http.StatusBadRequest, "empty query: tokens required")
+		return
+	}
+	release := s.admit(w)
+	if release == nil {
+		return
+	}
+	defer release()
+	s.met.requests.Add(1)
+	s.met.explains.Add(1)
+	plan, err := s.backend.Explain(req.Tokens, req.options())
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"beta":     plan.Beta,
+		"alpha":    plan.Alpha,
+		"num_long": plan.NumLong,
+		"cutoff":   plan.Cutoff,
+		"long":     plan.Long,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.closing.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "shutting_down"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	cacheLen, cacheCap := 0, 0
+	if s.cache != nil {
+		cacheLen, cacheCap = s.cache.len(), s.cfg.CacheEntries
+	}
+	meta := s.backend.Meta()
+	io := s.backend.IOStats()
+	writeJSON(w, http.StatusOK, s.met.snapshot(cacheLen, cacheCap, indexSnapshot{
+		K: meta.K, T: meta.T, NumTexts: meta.NumTexts,
+		BytesRead: io.BytesRead, ReadTimeNS: int64(io.ReadTime),
+	}))
+}

@@ -31,6 +31,7 @@
 package ndss
 
 import (
+	"context"
 	"io"
 
 	"ndss/internal/core"
@@ -141,6 +142,13 @@ func (db *DB) Search(query []uint32, opts SearchOptions) ([]Match, *QueryStats, 
 	return db.engine.Search(query, opts)
 }
 
+// SearchContext is Search honoring a context: when ctx is canceled or
+// its deadline passes, the query stops before its next index read and
+// returns ctx.Err(). Use it to bound query latency in services.
+func (db *DB) SearchContext(ctx context.Context, query []uint32, opts SearchOptions) ([]Match, *QueryStats, error) {
+	return db.engine.SearchContext(ctx, query, opts)
+}
+
 // Searcher exposes the underlying searcher for pipelines that drive
 // many queries directly (e.g. the memorization evaluator).
 func (db *DB) Searcher() *search.Searcher { return db.engine.Searcher() }
@@ -159,6 +167,19 @@ func (db *DB) SearchTopK(query []uint32, opts TopKOptions) ([]Match, *QueryStats
 // at any parallelism.
 func (db *DB) SearchBatch(queries [][]uint32, opts SearchOptions, parallelism int) []BatchResult {
 	return db.engine.SearchBatch(queries, opts, parallelism)
+}
+
+// SearchBatchContext is SearchBatch honoring a context: once ctx is
+// done, in-flight queries stop at their next cancellation checkpoint
+// and unstarted queries fail immediately with ctx.Err().
+func (db *DB) SearchBatchContext(ctx context.Context, queries [][]uint32, opts SearchOptions, parallelism int) []BatchResult {
+	return db.engine.SearchBatchContext(ctx, queries, opts, parallelism)
+}
+
+// SearchTopKContext is SearchTopK honoring a context; see SearchContext
+// for the cancellation contract.
+func (db *DB) SearchTopKContext(ctx context.Context, query []uint32, opts TopKOptions) ([]Match, *QueryStats, error) {
+	return db.engine.SearchTopKContext(ctx, query, opts)
 }
 
 // Explain returns the plan a query would execute with under opts,
