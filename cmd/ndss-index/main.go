@@ -64,8 +64,8 @@ func runCheck(dir string) error {
 		return err
 	}
 	m := ix.Meta()
-	fmt.Printf("index %s OK: k=%d t=%d, %d texts, %d windows, %d bytes\n",
-		dir, m.K, m.T, m.NumTexts, ix.TotalPostings(), size)
+	fmt.Printf("index %s OK: build %s, k=%d t=%d, %d texts, %d windows, %d bytes\n",
+		dir, ix.BuildID(), m.K, m.T, m.NumTexts, ix.TotalPostings(), size)
 	return nil
 }
 
@@ -103,7 +103,13 @@ func run(corpusPath, out string, opts index.BuildOptions, external bool, shards 
 			return err
 		}
 	}
-	fmt.Printf("index written to %s\n", out)
+	ix, err := index.Open(out)
+	if err != nil {
+		return fmt.Errorf("reopen committed index: %w", err)
+	}
+	buildID := ix.BuildID()
+	ix.Close()
+	fmt.Printf("index written to %s (build %s)\n", out, buildID)
 	if stats != nil {
 		fmt.Printf("  compact windows: %d\n", stats.Windows)
 		fmt.Printf("  bytes written:   %d\n", stats.BytesWritten)

@@ -8,14 +8,22 @@
 //	POST /search       {"tokens":[...],"theta":0.8,...} -> matches + stats
 //	POST /search/topk  {"tokens":[...],"n":10,"floor_theta":0.5,...}
 //	GET  /explain?tokens=1,2,3&theta=0.8  -> the query plan, no I/O
-//	GET  /healthz      200 while serving, 503 once shutdown begins
+//	GET  /healthz      200 while serving, 503 once shutdown begins;
+//	                   reports the active index build id
 //	GET  /metrics      JSON counters: requests, latency, cache, I/O
+//	POST /admin/reload reopen the index directory and hot-swap to it
 //
 // Requests are bounded by an admission semaphore (-max-inflight; excess
 // returns 429) and a per-request deadline (the request's timeout_ms
 // field, default -timeout, capped at -max-timeout). SIGINT/SIGTERM
 // starts a graceful shutdown: new work is refused while in-flight
 // queries drain.
+//
+// After rebuilding the index in place (ndss-index commits atomically,
+// so the running server never sees a partial build), POST /admin/reload
+// or SIGHUP swaps the server onto the new build with zero failed
+// requests: queries in flight finish on the old index while new ones
+// already run against the new one.
 package main
 
 import (
@@ -52,31 +60,68 @@ func main() {
 	}
 }
 
-func run(idxDir, corpusPath, addr string, maxInFlight int, timeout, maxTimeout time.Duration, cacheEntries int, drain time.Duration) error {
-	var src search.TextSource
-	if corpusPath != "" {
-		r, err := corpus.OpenReader(corpusPath)
-		if err != nil {
-			return err
+// servedBackend is an opened engine plus the corpus reader backing its
+// verification source, closed together when a reload retires it.
+type servedBackend struct {
+	*core.Engine
+	src *corpus.Reader // nil when serving without -corpus
+}
+
+func (b *servedBackend) Close() error {
+	err := b.Engine.Close()
+	if b.src != nil {
+		if cerr := b.src.Close(); err == nil {
+			err = cerr
 		}
-		defer r.Close()
+	}
+	return err
+}
+
+// openBackend opens the index directory (and corpus, when configured)
+// as one closable unit. It is also the server's Reloader: each reload
+// opens fresh handles so the retiring backend can be closed safely.
+func openBackend(idxDir, corpusPath string) (*servedBackend, error) {
+	var (
+		src search.TextSource
+		r   *corpus.Reader
+	)
+	if corpusPath != "" {
+		var err error
+		r, err = corpus.OpenReader(corpusPath)
+		if err != nil {
+			return nil, err
+		}
 		src = r
 	}
 	engine, err := core.Open(idxDir, src)
 	if err != nil {
+		if r != nil {
+			r.Close()
+		}
+		return nil, err
+	}
+	return &servedBackend{Engine: engine, src: r}, nil
+}
+
+func run(idxDir, corpusPath, addr string, maxInFlight int, timeout, maxTimeout time.Duration, cacheEntries int, drain time.Duration) error {
+	backend, err := openBackend(idxDir, corpusPath)
+	if err != nil {
 		return err
 	}
-	defer engine.Close()
+	defer backend.Close()
 
 	cache := cacheEntries
 	if cache == 0 {
 		cache = -1 // Config treats <0 as "disabled", 0 as "default"
 	}
-	srv := server.New(engine, server.Config{
+	srv := server.New(backend, server.Config{
 		MaxInFlight:    maxInFlight,
 		DefaultTimeout: timeout,
 		MaxTimeout:     maxTimeout,
 		CacheEntries:   cache,
+		Reloader: func() (server.Backend, error) {
+			return openBackend(idxDir, corpusPath)
+		},
 	})
 	hs := &http.Server{
 		Addr:              addr,
@@ -86,20 +131,33 @@ func run(idxDir, corpusPath, addr string, maxInFlight int, timeout, maxTimeout t
 
 	errc := make(chan error, 1)
 	go func() {
-		meta := engine.Meta()
-		log.Printf("serving index %s (k=%d t=%d texts=%d) on %s", idxDir, meta.K, meta.T, meta.NumTexts, addr)
+		meta := backend.Meta()
+		log.Printf("serving index %s build %s (k=%d t=%d texts=%d) on %s",
+			idxDir, backend.BuildID(), meta.K, meta.T, meta.NumTexts, addr)
 		if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			errc <- err
 		}
 	}()
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	select {
-	case err := <-errc:
-		return err
-	case s := <-sig:
-		log.Printf("received %v, draining in-flight requests", s)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+	for {
+		select {
+		case err := <-errc:
+			return err
+		case s := <-sig:
+			if s == syscall.SIGHUP {
+				oldID, newID, err := srv.Reload()
+				if err != nil {
+					log.Printf("reload failed, still serving previous index: %v", err)
+				} else {
+					log.Printf("reloaded index %s: build %s -> %s", idxDir, oldID, newID)
+				}
+				continue
+			}
+			log.Printf("received %v, draining in-flight requests", s)
+		}
+		break
 	}
 
 	srv.BeginShutdown()

@@ -90,6 +90,10 @@ func (e *Engine) SearchTopKContext(ctx context.Context, query []uint32, opts sea
 // Meta returns the opened index's metadata.
 func (e *Engine) Meta() index.Meta { return e.ix.Meta() }
 
+// BuildID identifies the index build this engine serves ("legacy" for
+// pre-manifest indexes).
+func (e *Engine) BuildID() string { return e.ix.BuildID() }
+
 // Family returns the hash family queries are sketched with.
 func (e *Engine) Family() *hash.Family { return e.ix.Family() }
 

@@ -1,0 +1,256 @@
+package fsio
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+)
+
+// ErrInjected is the default error returned by an injected fault. Tests
+// match it with errors.Is to tell injected failures from real ones.
+var ErrInjected = errors.New("fsio: injected fault")
+
+// FaultFS wraps another FS with deterministic fault injection. Every
+// mutating operation (create, write, sync, rename, remove, mkdir) is
+// numbered in execution order; the fault trips on the Nth one.
+//
+// Two failure models are supported:
+//
+//   - Crash (default): once tripped, every later mutating operation
+//     fails too — nothing more reaches "disk", exactly as if the
+//     process had been killed at that operation. Reads keep working so
+//     error paths can unwind.
+//   - Single fault (SetCrash(false)): only the Nth operation fails;
+//     later ones succeed. This exercises error-path cleanup code,
+//     which a real crash would never run.
+//
+// Independent of the op counter, FailReadAt arms a read fault: ReadAt
+// calls on a matching file whose byte range covers the offset fail.
+// The zero configuration injects nothing and only counts operations.
+type FaultFS struct {
+	inner FS
+
+	mu         sync.Mutex
+	ops        int
+	failAt     int
+	crash      bool
+	shortWrite bool
+	err        error
+	tripped    bool
+
+	readPath  string
+	readOff   int64
+	readArmed bool
+}
+
+// NewFaultFS wraps inner (usually OS) with fault injection disabled:
+// operations are only counted until FailAt or FailReadAt arms a fault.
+func NewFaultFS(inner FS) *FaultFS {
+	return &FaultFS{inner: inner, crash: true, err: ErrInjected}
+}
+
+// FailAt arms the op fault: the nth (1-based) mutating operation from
+// now fails. n <= 0 disarms. The op counter is reset.
+func (f *FaultFS) FailAt(n int) *FaultFS {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops = 0
+	f.failAt = n
+	f.tripped = false
+	return f
+}
+
+// SetCrash selects between crash semantics (true, the default: all
+// mutating ops after the trip fail too) and single-fault semantics.
+func (f *FaultFS) SetCrash(crash bool) *FaultFS {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crash = crash
+	return f
+}
+
+// SetShortWrite makes the tripping operation, when it is a file write,
+// persist the first half of its buffer before failing — a torn write.
+func (f *FaultFS) SetShortWrite(short bool) *FaultFS {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.shortWrite = short
+	return f
+}
+
+// SetErr replaces the injected error (e.g. syscall.ENOSPC).
+func (f *FaultFS) SetErr(err error) *FaultFS {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.err = fmt.Errorf("%w: %w", ErrInjected, err)
+	return f
+}
+
+// FailReadAt arms the read fault: ReadAt on any file whose name
+// contains pathSubstr fails when the requested range covers off.
+func (f *FaultFS) FailReadAt(pathSubstr string, off int64) *FaultFS {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.readPath = pathSubstr
+	f.readOff = off
+	f.readArmed = true
+	return f
+}
+
+// ClearReadFault disarms the read fault.
+func (f *FaultFS) ClearReadFault() *FaultFS {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.readArmed = false
+	return f
+}
+
+// Ops returns the number of mutating operations attempted since the
+// last FailAt. Run a workload with the fault disarmed to learn how
+// many crash points it has.
+func (f *FaultFS) Ops() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Tripped reports whether the op fault has fired.
+func (f *FaultFS) Tripped() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.tripped
+}
+
+// step numbers one mutating operation. It returns (firstTrip, err):
+// err non-nil means the operation must fail; firstTrip marks the
+// operation that tripped the fault (short-write handling needs it).
+func (f *FaultFS) step() (bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops++
+	if f.tripped && f.crash {
+		return false, f.err
+	}
+	if f.failAt > 0 && f.ops == f.failAt && !f.tripped {
+		f.tripped = true
+		return true, f.err
+	}
+	return false, nil
+}
+
+func (f *FaultFS) readFault(name string, off int64, n int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.readArmed || !strings.Contains(name, f.readPath) {
+		return nil
+	}
+	if off <= f.readOff && f.readOff < off+int64(n) {
+		return f.err
+	}
+	return nil
+}
+
+func (f *FaultFS) wrap(file File, err error) (File, error) {
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+func (f *FaultFS) Create(name string) (File, error) {
+	if _, err := f.step(); err != nil {
+		return nil, err
+	}
+	return f.wrap(f.inner.Create(name))
+}
+
+func (f *FaultFS) Open(name string) (File, error) {
+	return f.wrap(f.inner.Open(name))
+}
+
+func (f *FaultFS) CreateTemp(dir, pattern string) (File, error) {
+	if _, err := f.step(); err != nil {
+		return nil, err
+	}
+	return f.wrap(f.inner.CreateTemp(dir, pattern))
+}
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	if _, err := f.step(); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) MkdirTemp(dir, pattern string) (string, error) {
+	if _, err := f.step(); err != nil {
+		return "", err
+	}
+	return f.inner.MkdirTemp(dir, pattern)
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if _, err := f.step(); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if _, err := f.step(); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) RemoveAll(path string) error {
+	if _, err := f.step(); err != nil {
+		return err
+	}
+	return f.inner.RemoveAll(path)
+}
+
+func (f *FaultFS) Stat(name string) (os.FileInfo, error) { return f.inner.Stat(name) }
+func (f *FaultFS) ReadFile(name string) ([]byte, error)  { return f.inner.ReadFile(name) }
+func (f *FaultFS) Glob(pattern string) ([]string, error) { return f.inner.Glob(pattern) }
+
+func (f *FaultFS) SyncDir(path string) error {
+	if _, err := f.step(); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(path)
+}
+
+// faultFile routes writes and syncs through the fault machinery.
+type faultFile struct {
+	File
+	fs *FaultFS
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	first, err := ff.fs.step()
+	if err != nil {
+		if first && ff.fs.shortWrite && len(p) > 1 {
+			n, _ := ff.File.Write(p[:len(p)/2])
+			return n, err
+		}
+		return 0, err
+	}
+	return ff.File.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	if _, err := ff.fs.step(); err != nil {
+		return err
+	}
+	return ff.File.Sync()
+}
+
+func (ff *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := ff.fs.readFault(ff.Name(), off, len(p)); err != nil {
+		return 0, err
+	}
+	return ff.File.ReadAt(p, off)
+}

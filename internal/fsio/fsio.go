@@ -1,0 +1,103 @@
+// Package fsio is the filesystem seam of the index lifecycle: a small
+// interface over the os calls the index builders and readers perform,
+// with a production implementation backed by the os package and a
+// deterministic fault-injecting implementation for crash-safety tests.
+//
+// Builders take an FS so a test can kill a build at every single write
+// operation and prove the previous index always survives; readers take
+// an FS so injected read errors can be shown to surface as wrapped
+// errors instead of panics.
+package fsio
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// File is the subset of *os.File the index layer uses.
+type File interface {
+	io.Reader
+	io.Writer
+	io.ReaderAt
+	io.Seeker
+	io.Closer
+	Name() string
+	Stat() (os.FileInfo, error)
+	Sync() error
+}
+
+// FS abstracts the filesystem operations of index construction,
+// commit and reading. Implementations must be safe for concurrent use.
+type FS interface {
+	Create(name string) (File, error)
+	Open(name string) (File, error)
+	CreateTemp(dir, pattern string) (File, error)
+	MkdirAll(path string, perm os.FileMode) error
+	MkdirTemp(dir, pattern string) (string, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	RemoveAll(path string) error
+	Stat(name string) (os.FileInfo, error)
+	ReadFile(name string) ([]byte, error)
+	Glob(pattern string) ([]string, error)
+	// SyncDir fsyncs a directory so renames and file creations inside
+	// it are durable.
+	SyncDir(path string) error
+}
+
+// OS is the production filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+func (osFS) Open(name string) (File, error)   { return os.Open(name) }
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	return os.CreateTemp(dir, pattern)
+}
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) MkdirTemp(dir, pattern string) (string, error) {
+	return os.MkdirTemp(dir, pattern)
+}
+func (osFS) Rename(oldpath, newpath string) error  { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error              { return os.Remove(name) }
+func (osFS) RemoveAll(path string) error           { return os.RemoveAll(path) }
+func (osFS) Stat(name string) (os.FileInfo, error) { return os.Stat(name) }
+func (osFS) ReadFile(name string) ([]byte, error)  { return os.ReadFile(name) }
+func (osFS) Glob(pattern string) ([]string, error) { return filepath.Glob(pattern) }
+
+func (osFS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// WriteFileSync writes data to path durably: create, write, fsync,
+// close. An error on any step removes the partial file.
+func WriteFileSync(fsys FS, path string, data []byte) error {
+	f, err := fsys.Create(path)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fsys.Remove(path)
+	}
+	return err
+}
+
+// NotExist reports whether err means the file or directory is absent,
+// unwrapping wrapped errors.
+func NotExist(err error) bool { return errors.Is(err, fs.ErrNotExist) }

@@ -1,0 +1,191 @@
+package fsio
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.bin")
+	f, err := OS.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := OS.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello" {
+		t.Fatalf("read back %q", data)
+	}
+	if err := OS.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OS.Stat(path)
+	if err != nil || st.Size() != 5 {
+		t.Fatalf("stat: %v size %d", err, st.Size())
+	}
+	matches, err := OS.Glob(filepath.Join(dir, "*.bin"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("glob: %v %v", matches, err)
+	}
+}
+
+func TestWriteFileSyncRemovesPartialOnError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "meta.json")
+	ffs := NewFaultFS(OS).SetCrash(false)
+	ffs.FailAt(2) // Create is op 1, Write is op 2.
+	if err := WriteFileSync(ffs, path, []byte("payload")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("partial file left behind: %v", err)
+	}
+}
+
+// TestFaultFSCountsOps establishes that a disarmed FaultFS counts
+// mutating ops and never fails.
+func TestFaultFSCountsOps(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS)
+	f, err := ffs.Create(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("x")) // op 2
+	f.Sync()             // op 3
+	f.Close()
+	if err := ffs.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); err != nil { // op 4
+		t.Fatal(err)
+	}
+	if err := ffs.Remove(filepath.Join(dir, "b")); err != nil { // op 5
+		t.Fatal(err)
+	}
+	if got := ffs.Ops(); got != 5 {
+		t.Fatalf("ops = %d, want 5", got)
+	}
+	if ffs.Tripped() {
+		t.Fatal("disarmed FaultFS tripped")
+	}
+}
+
+// TestFaultFSCrashSemantics checks that after the trip every further
+// mutating op fails while reads keep working.
+func TestFaultFSCrashSemantics(t *testing.T) {
+	dir := t.TempDir()
+	pre := filepath.Join(dir, "pre")
+	if err := os.WriteFile(pre, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ffs := NewFaultFS(OS).FailAt(1)
+	if _, err := ffs.Create(filepath.Join(dir, "new")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed op should fail, got %v", err)
+	}
+	if !ffs.Tripped() {
+		t.Fatal("fault did not trip")
+	}
+	// Post-crash: mutations fail, reads still work.
+	if err := ffs.Remove(pre); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-crash mutation should fail, got %v", err)
+	}
+	if _, err := ffs.ReadFile(pre); err != nil {
+		t.Fatalf("post-crash read should work: %v", err)
+	}
+	if _, err := ffs.Stat(pre); err != nil {
+		t.Fatalf("post-crash stat should work: %v", err)
+	}
+}
+
+// TestFaultFSSingleFault checks that with crash mode off only the Nth
+// op fails and the workload can recover.
+func TestFaultFSSingleFault(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS).SetCrash(false).FailAt(1)
+	if _, err := ffs.Create(filepath.Join(dir, "a")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed op should fail, got %v", err)
+	}
+	f, err := ffs.Create(filepath.Join(dir, "a"))
+	if err != nil {
+		t.Fatalf("op after single fault should succeed: %v", err)
+	}
+	f.Close()
+}
+
+func TestFaultFSShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "torn")
+	ffs := NewFaultFS(OS).SetShortWrite(true)
+	f, err := ffs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.FailAt(1)
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("short write persisted %d bytes, want 5", n)
+	}
+	f.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "01234" {
+		t.Fatalf("torn file content %q", data)
+	}
+}
+
+func TestFaultFSSetErr(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS).SetErr(syscall.ENOSPC).FailAt(1)
+	_, err := ffs.Create(filepath.Join(dir, "x"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("want ENOSPC, got %v", err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected wrapper, got %v", err)
+	}
+}
+
+func TestFaultFSReadFault(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data")
+	if err := os.WriteFile(path, []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ffs := NewFaultFS(OS).FailReadAt("data", 4)
+	f, err := ffs.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var buf [4]byte
+	// Range [0,4) does not cover offset 4.
+	if _, err := f.ReadAt(buf[:], 0); err != nil {
+		t.Fatalf("read below fault offset should succeed: %v", err)
+	}
+	// Range [2,6) covers offset 4.
+	if _, err := f.ReadAt(buf[:], 2); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read across fault offset should fail, got %v", err)
+	}
+	ffs.ClearReadFault()
+	if _, err := f.ReadAt(buf[:], 2); err != nil {
+		t.Fatalf("read after ClearReadFault should succeed: %v", err)
+	}
+}

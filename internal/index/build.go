@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ndss/internal/corpus"
+	"ndss/internal/fsio"
 	"ndss/internal/hash"
 	"ndss/internal/window"
 )
@@ -36,6 +37,9 @@ type BuildOptions struct {
 	// BatchTokens is the streaming batch size in tokens for
 	// BuildExternal. Defaults to 4M tokens.
 	BatchTokens int
+	// FS is the filesystem the build writes through. Defaults to the
+	// real filesystem; tests inject fault-carrying implementations.
+	FS fsio.FS
 }
 
 func (o *BuildOptions) setDefaults() error {
@@ -63,7 +67,18 @@ func (o *BuildOptions) setDefaults() error {
 	if o.BatchTokens <= 0 {
 		o.BatchTokens = 4 << 20
 	}
+	if o.FS == nil {
+		o.FS = fsio.OS
+	}
 	return nil
+}
+
+// fsys returns the filesystem the build writes through.
+func (o *BuildOptions) fsys() fsio.FS {
+	if o.FS == nil {
+		return fsio.OS
+	}
+	return o.FS
 }
 
 // BuildStats reports what a build did. GenTime covers hashing, window
@@ -78,8 +93,10 @@ type BuildStats struct {
 }
 
 // Build constructs the k inverted files for an in-memory corpus
-// (Algorithm 1's main path) into dir. dir must exist and be writable;
-// existing index files in it are overwritten.
+// (Algorithm 1's main path) and commits them atomically as dir. The
+// build is staged into a temp directory next to dir, fsynced, and
+// swapped in by rename, so a failed or killed build leaves any
+// previous index at dir untouched and openable.
 func Build(c *corpus.Corpus, dir string, opts BuildOptions) (*BuildStats, error) {
 	if err := opts.setDefaults(); err != nil {
 		return nil, err
@@ -88,7 +105,20 @@ func Build(c *corpus.Corpus, dir string, opts BuildOptions) (*BuildStats, error)
 	if err != nil {
 		return nil, err
 	}
+	fsys := opts.fsys()
+	staging, err := beginBuild(fsys, dir, true)
+	if err != nil {
+		return nil, err
+	}
+	committed := false
+	defer func() {
+		if !committed {
+			discardStaging(fsys, staging)
+		}
+	}()
+
 	stats := &BuildStats{WindowsPerFunc: make([]int64, opts.K)}
+	sums := make([]fileSum, opts.K)
 	for fn := 0; fn < opts.K; fn++ {
 		recs, genDur := generateRecords(c, fam.Func(fn), opts.T, opts.Parallelism)
 		sortStart := time.Now()
@@ -99,14 +129,15 @@ func Build(c *corpus.Corpus, dir string, opts BuildOptions) (*BuildStats, error)
 		stats.Windows += int64(len(recs))
 
 		ioStart := time.Now()
-		n, err := writeLists(dir, fn, recs, opts)
+		sum, err := writeLists(fsys, staging, fn, recs, opts)
 		if err != nil {
 			return nil, err
 		}
 		stats.IOTime += time.Since(ioStart)
-		stats.BytesWritten += n
+		stats.BytesWritten += sum.size
+		sums[fn] = sum
 	}
-	if err := writeMeta(dir, Meta{
+	meta := Meta{
 		K:              opts.K,
 		Seed:           opts.Seed,
 		T:              opts.T,
@@ -114,10 +145,24 @@ func Build(c *corpus.Corpus, dir string, opts BuildOptions) (*BuildStats, error)
 		TotalTokens:    c.TotalTokens(),
 		ZoneMapStep:    opts.ZoneMapStep,
 		LongListCutoff: opts.LongListCutoff,
-	}); err != nil {
+	}
+	if err := finishBuild(fsys, staging, dir, meta, sums); err != nil {
 		return nil, err
 	}
+	committed = true
 	return stats, nil
+}
+
+// finishBuild writes the metadata and manifest into the staging
+// directory and commits it as dir.
+func finishBuild(fsys fsio.FS, staging, dir string, meta Meta, sums []fileSum) error {
+	if err := writeMeta(fsys, staging, meta); err != nil {
+		return err
+	}
+	if err := writeManifest(fsys, staging, newManifest(meta, sums)); err != nil {
+		return err
+	}
+	return commitDir(fsys, staging, dir)
 }
 
 // generateRecords produces the (hash, posting) records of one hash
@@ -189,16 +234,16 @@ func appendTextRecords(dst []record, c *corpus.Corpus, lo, hi int, f hash.Func, 
 	return dst
 }
 
-// writeLists writes sorted records as one inverted file and returns its
-// size in bytes.
-func writeLists(dir string, fn int, recs []record, opts BuildOptions) (int64, error) {
-	w, err := newFileWriter(indexPath(dir, fn), fn, opts.ZoneMapStep, opts.LongListCutoff)
+// writeLists writes sorted records as one inverted file and returns
+// its size and checksums.
+func writeLists(fsys fsio.FS, dir string, fn int, recs []record, opts BuildOptions) (fileSum, error) {
+	w, err := newFileWriter(fsys, indexPath(dir, fn), fn, opts.ZoneMapStep, opts.LongListCutoff)
 	if err != nil {
-		return 0, err
+		return fileSum{}, err
 	}
 	if err := addSortedRuns(w, recs); err != nil {
 		w.abort()
-		return 0, err
+		return fileSum{}, err
 	}
 	return w.finish()
 }

@@ -1,0 +1,168 @@
+package index
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"ndss/internal/fsio"
+)
+
+// Crash-safe build commit protocol.
+//
+// Builders never write into a live index directory. A build is staged
+// into a sibling temp directory ("<dir>.tmp-XXXX"), every data file is
+// fsynced as it is finished, the meta and manifest are written durably,
+// the staging directory itself is fsynced, and the build is then
+// committed by rename:
+//
+//	rename(dir, dir+".old")   // when dir already exists
+//	rename(staging, dir)
+//	fsync(parent)
+//	remove(dir+".old")
+//
+// A crash at any point leaves the directory in one of three states,
+// all recoverable: the old index in place (build never committed), the
+// old index parked at dir+".old" with dir absent (crash between the
+// renames; recoverBackup restores it), or the new index in place with
+// a leftover backup (crash before the final remove; recoverBackup
+// deletes it). Orphaned staging directories and spill files from
+// crashed builds are swept when the next build starts.
+
+// backupSuffix names the parked previous index during a commit swap.
+const backupSuffix = ".old"
+
+// stagingPattern is the MkdirTemp pattern for build staging
+// directories of dir; sweepOrphans globs the same shape.
+func stagingPattern(dir string) (parent, pattern string) {
+	dir = filepath.Clean(dir)
+	return filepath.Dir(dir), filepath.Base(dir) + ".tmp-*"
+}
+
+// beginBuild prepares a staged build for target dir: it recovers any
+// interrupted commit, optionally sweeps orphaned artifacts of crashed
+// builds, and creates a fresh staging directory next to dir. The
+// caller must either commitDir the staging directory or remove it.
+//
+// sweep must be false when a live temp workspace for dir already
+// exists nearby (BuildSharded's shard workspace, Append's delta): the
+// sweep matches the same naming pattern and would delete it.
+func beginBuild(fsys fsio.FS, dir string, sweep bool) (staging string, err error) {
+	parent, pattern := stagingPattern(dir)
+	if err := fsys.MkdirAll(parent, 0o755); err != nil {
+		return "", fmt.Errorf("index: create parent dir: %w", err)
+	}
+	if err := recoverBackup(fsys, dir); err != nil {
+		return "", err
+	}
+	if sweep {
+		if err := sweepOrphans(fsys, dir); err != nil {
+			return "", err
+		}
+	}
+	staging, err = fsys.MkdirTemp(parent, pattern)
+	if err != nil {
+		return "", fmt.Errorf("index: create staging dir: %w", err)
+	}
+	return staging, nil
+}
+
+// sweepOrphans removes build artifacts a crashed prior run may have
+// left behind: staging directories next to dir, and spill files of the
+// pre-staging external builder inside dir.
+func sweepOrphans(fsys fsio.FS, dir string) error {
+	parent, pattern := stagingPattern(dir)
+	stale, err := fsys.Glob(filepath.Join(parent, pattern))
+	if err != nil {
+		return err
+	}
+	for _, s := range stale {
+		if err := fsys.RemoveAll(s); err != nil {
+			return fmt.Errorf("index: sweep stale staging %s: %w", s, err)
+		}
+	}
+	spills, err := fsys.Glob(filepath.Join(dir, "spill-*"))
+	if err != nil {
+		return err
+	}
+	for _, s := range spills {
+		if err := fsys.Remove(s); err != nil {
+			return fmt.Errorf("index: sweep stale spill %s: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// recoverBackup resolves a leftover "<dir>.old" from an interrupted
+// commit swap. If dir is absent the backup is the only surviving
+// index and is restored; if dir exists the commit completed and the
+// backup is deleted (best-effort — a stale backup must never shadow
+// or block the committed index).
+func recoverBackup(fsys fsio.FS, dir string) error {
+	backup := dir + backupSuffix
+	if _, err := fsys.Stat(backup); err != nil {
+		if fsio.NotExist(err) {
+			return nil
+		}
+		return err
+	}
+	if _, err := fsys.Stat(dir); err == nil {
+		// Commit completed before the crash; drop the parked old index.
+		fsys.RemoveAll(backup)
+		return nil
+	}
+	if err := fsys.Rename(backup, dir); err != nil {
+		return fmt.Errorf("index: restore interrupted-commit backup %s: %w", backup, err)
+	}
+	return fsys.SyncDir(filepath.Dir(dir))
+}
+
+// commitDir atomically publishes a fully written staging directory as
+// dir. Data files must already be fsynced (fileWriter.finish and
+// fsio.WriteFileSync guarantee this); commitDir fsyncs the staging
+// directory, swaps it in by rename, and fsyncs the parent so the swap
+// is durable. On failure the previous index is left (or put back) in
+// place.
+func commitDir(fsys fsio.FS, staging, dir string) error {
+	if err := fsys.SyncDir(staging); err != nil {
+		return fmt.Errorf("index: sync staging dir: %w", err)
+	}
+	parent := filepath.Dir(filepath.Clean(dir))
+	backup := dir + backupSuffix
+	if _, err := fsys.Stat(dir); err == nil {
+		if err := fsys.Rename(dir, backup); err != nil {
+			return fmt.Errorf("index: park previous index: %w", err)
+		}
+		if err := fsys.Rename(staging, dir); err != nil {
+			// Put the previous index back; if even that fails the
+			// backup remains and recoverBackup restores it next time.
+			fsys.Rename(backup, dir)
+			return fmt.Errorf("index: commit rename: %w", err)
+		}
+		if err := fsys.SyncDir(parent); err != nil {
+			return fmt.Errorf("index: sync parent dir: %w", err)
+		}
+		// The new index is durable; the backup is now garbage. Removal
+		// is best-effort — recoverBackup clears a leftover on the next
+		// open or build.
+		fsys.RemoveAll(backup)
+		return nil
+	} else if !fsio.NotExist(err) {
+		return err
+	}
+	if err := fsys.Rename(staging, dir); err != nil {
+		return fmt.Errorf("index: commit rename: %w", err)
+	}
+	if err := fsys.SyncDir(parent); err != nil {
+		return fmt.Errorf("index: sync parent dir: %w", err)
+	}
+	return nil
+}
+
+// discardStaging removes a staging directory after a failed build,
+// best-effort: on an injected crash the removal itself fails, and the
+// orphan is swept by the next build instead.
+func discardStaging(fsys fsio.FS, staging string) {
+	if staging != "" {
+		fsys.RemoveAll(staging)
+	}
+}

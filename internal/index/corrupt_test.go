@@ -1,6 +1,10 @@
 package index
 
 import (
+	"encoding/json"
+	"strings"
+
+	"ndss/internal/fsio"
 	"os"
 	"path/filepath"
 	"testing"
@@ -105,5 +109,120 @@ func TestTruncatedFileRejected(t *testing.T) {
 	}
 	if _, err := Open(dir); err == nil {
 		t.Fatal("truncated file should fail to open")
+	}
+}
+
+// Manifest-era corruption tests: Open must cross-check the directory
+// against the build manifest and reject torn or mixed-build states.
+
+func TestManifestRoundTripAfterBuild(t *testing.T) {
+	dir, _ := buildOnDisk(t)
+	ix, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if id := ix.BuildID(); id == "" || id == "legacy" {
+		t.Fatalf("committed build has build id %q", id)
+	}
+	man := ix.Manifest()
+	if man == nil {
+		t.Fatal("no manifest on a freshly built index")
+	}
+	if len(man.Files) != ix.K() {
+		t.Fatalf("manifest lists %d files for k=%d", len(man.Files), ix.K())
+	}
+	if err := ix.VerifyIntegrity(); err != nil {
+		t.Fatalf("clean index failed integrity: %v", err)
+	}
+}
+
+func TestTruncatedManifestRejected(t *testing.T) {
+	dir, _ := buildOnDisk(t)
+	mpath := filepath.Join(dir, manifestFileName)
+	data, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mpath, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("truncated manifest should fail to open")
+	}
+}
+
+func TestManifestSizeMismatchRejected(t *testing.T) {
+	dir, _ := buildOnDisk(t)
+	mpath := filepath.Join(dir, manifestFileName)
+	man, err := readManifest(fsio.OS, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man.Files[0].Size += 16
+	data, err := json.Marshal(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(mpath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(dir)
+	if err == nil {
+		t.Fatal("size mismatch against manifest should fail to open")
+	}
+	if !strings.Contains(err.Error(), "torn or mixed build") {
+		t.Fatalf("diagnostic does not name the cause: %v", err)
+	}
+}
+
+// TestMixedBuildRejected swaps one inverted file in from a different
+// build of the same shape: sizes may even coincide, but the checksums
+// cannot, and Open must refuse to serve the mixture.
+func TestMixedBuildRejected(t *testing.T) {
+	dirA, fileA := buildOnDisk(t)
+	// A different corpus with the same parameters.
+	c := testCorpus(t, 30, 40, 100, 200, 62)
+	dirB := t.TempDir()
+	if _, err := Build(c, dirB, BuildOptions{K: 2, Seed: 5, T: 10}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dirB, funcFileName(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(fileA, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(dirA)
+	if err == nil {
+		t.Fatal("file from a different build should fail to open")
+	}
+	if !strings.Contains(err.Error(), "torn or mixed build") {
+		t.Fatalf("diagnostic does not name the cause: %v", err)
+	}
+}
+
+// TestLegacyIndexWithoutManifestOpens covers the compatibility path:
+// a directory with only the bare metadata file (as written before
+// manifests existed) opens and reports build id "legacy".
+func TestLegacyIndexWithoutManifestOpens(t *testing.T) {
+	dir, _ := buildOnDisk(t)
+	if err := os.Remove(filepath.Join(dir, manifestFileName)); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Open(dir)
+	if err != nil {
+		t.Fatalf("legacy index should open: %v", err)
+	}
+	defer ix.Close()
+	if ix.BuildID() != "legacy" {
+		t.Fatalf("legacy build id = %q", ix.BuildID())
+	}
+	if ix.Manifest() != nil {
+		t.Fatal("legacy index reports a manifest")
+	}
+	if err := ix.VerifyIntegrity(); err != nil {
+		t.Fatalf("legacy index failed integrity: %v", err)
 	}
 }

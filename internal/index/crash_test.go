@@ -1,0 +1,468 @@
+package index
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ndss/internal/corpus"
+	"ndss/internal/fsio"
+)
+
+// Crash-safety tests: a FaultFS kills the build at every single
+// mutating filesystem operation in turn, and after each simulated crash
+// the index directory must still open — as either exactly the previous
+// index or a completely committed new one, never a mix of the two.
+
+// fingerprint summarizes an opened index for equality checks across
+// crash points.
+type fingerprint struct {
+	buildID  string
+	numTexts int
+	postings int64
+}
+
+func fingerprintOf(ix *Index) fingerprint {
+	return fingerprint{
+		buildID:  ix.BuildID(),
+		numTexts: ix.Meta().NumTexts,
+		postings: ix.TotalPostings(),
+	}
+}
+
+// openAndFingerprint opens dir with the plain OS filesystem — as a
+// fresh process after the crash would — and verifies its integrity.
+func openAndFingerprint(t *testing.T, dir string) fingerprint {
+	t.Helper()
+	ix, err := Open(dir)
+	if err != nil {
+		t.Fatalf("index did not survive crash: %v", err)
+	}
+	defer ix.Close()
+	if err := ix.VerifyIntegrity(); err != nil {
+		t.Fatalf("index corrupt after crash: %v", err)
+	}
+	return fingerprintOf(ix)
+}
+
+// seedIndex builds the "previous" index at dir and returns its
+// fingerprint. Parallelism 1 keeps later op counts deterministic.
+func seedIndex(t *testing.T, dir string, c *corpus.Corpus, opts BuildOptions) fingerprint {
+	t.Helper()
+	opts.Parallelism = 1
+	if _, err := Build(c, dir, opts); err != nil {
+		t.Fatal(err)
+	}
+	return openAndFingerprint(t, dir)
+}
+
+// checkCrashInvariant verifies the post-crash state of dir: it opens
+// cleanly and matches either the old fingerprint (build never
+// committed) or a complete new build (crash after the commit rename).
+func checkCrashInvariant(t *testing.T, dir string, opAt int, old fingerprint, newTexts int) {
+	t.Helper()
+	got := openAndFingerprint(t, dir)
+	switch {
+	case got == old:
+		// Old index intact.
+	case got.buildID != old.buildID && got.numTexts == newTexts:
+		// Crash landed after the commit point; the new build is fully
+		// visible, which is just as correct.
+	default:
+		t.Fatalf("crash at op %d left a mixed state: old %+v, got %+v", opAt, old, got)
+	}
+}
+
+func TestBuildCrashLoop(t *testing.T) {
+	oldCorpus := testCorpus(t, 12, 30, 60, 100, 7)
+	newCorpus := testCorpus(t, 20, 30, 60, 100, 8)
+	opts := BuildOptions{K: 2, Seed: 3, T: 10, Parallelism: 1}
+
+	// Dry run against a seeded directory to learn the op count; the
+	// commit dance differs when a previous index exists, so the dry run
+	// must mirror the real one.
+	dry := filepath.Join(t.TempDir(), "ix")
+	seedIndex(t, dry, oldCorpus, opts)
+	counter := fsio.NewFaultFS(fsio.OS)
+	dryOpts := opts
+	dryOpts.FS = counter
+	if _, err := Build(newCorpus, dry, dryOpts); err != nil {
+		t.Fatal(err)
+	}
+	total := counter.Ops()
+	if total < 10 {
+		t.Fatalf("suspiciously few crash points: %d", total)
+	}
+
+	for n := 1; n <= total; n++ {
+		dir := filepath.Join(t.TempDir(), "ix")
+		old := seedIndex(t, dir, oldCorpus, opts)
+		ffs := fsio.NewFaultFS(fsio.OS).FailAt(n)
+		crashOpts := opts
+		crashOpts.FS = ffs
+		_, err := Build(newCorpus, dir, crashOpts)
+		if err == nil {
+			// The fault landed on the trailing best-effort backup
+			// removal: the new index is already committed.
+			got := openAndFingerprint(t, dir)
+			if got.numTexts != newCorpus.NumTexts() {
+				t.Fatalf("op %d: silent success with wrong index %+v", n, got)
+			}
+		} else {
+			if !errors.Is(err, fsio.ErrInjected) {
+				t.Fatalf("op %d: unexpected error: %v", n, err)
+			}
+			checkCrashInvariant(t, dir, n, old, newCorpus.NumTexts())
+		}
+
+		// A retry on the recovered directory must succeed and commit.
+		if _, err := Build(newCorpus, dir, opts); err != nil {
+			t.Fatalf("op %d: rebuild after crash: %v", n, err)
+		}
+		got := openAndFingerprint(t, dir)
+		if got.numTexts != newCorpus.NumTexts() {
+			t.Fatalf("op %d: rebuild produced %+v", n, got)
+		}
+	}
+}
+
+// TestBuildSingleFaultCleansUp runs the same loop in single-fault mode
+// (the op fails but the process lives on), which exercises the cleanup
+// code a real crash never runs: no staging directory or partial file
+// may be left behind, unless the fault hit a best-effort step after the
+// commit point, in which case the build legitimately succeeds.
+func TestBuildSingleFaultCleansUp(t *testing.T) {
+	oldCorpus := testCorpus(t, 12, 30, 60, 100, 7)
+	newCorpus := testCorpus(t, 20, 30, 60, 100, 8)
+	opts := BuildOptions{K: 2, Seed: 3, T: 10, Parallelism: 1}
+
+	dry := filepath.Join(t.TempDir(), "ix")
+	seedIndex(t, dry, oldCorpus, opts)
+	counter := fsio.NewFaultFS(fsio.OS)
+	dryOpts := opts
+	dryOpts.FS = counter
+	if _, err := Build(newCorpus, dry, dryOpts); err != nil {
+		t.Fatal(err)
+	}
+	total := counter.Ops()
+
+	for n := 1; n <= total; n++ {
+		parent := t.TempDir()
+		dir := filepath.Join(parent, "ix")
+		old := seedIndex(t, dir, oldCorpus, opts)
+		ffs := fsio.NewFaultFS(fsio.OS).SetCrash(false).FailAt(n)
+		faultOpts := opts
+		faultOpts.FS = ffs
+		committedDespiteError := false
+		_, err := Build(newCorpus, dir, faultOpts)
+		if err == nil {
+			// The fault hit a best-effort step (e.g. backup removal after
+			// commit): the new index must be fully in place.
+			got := openAndFingerprint(t, dir)
+			if got.numTexts != newCorpus.NumTexts() {
+				t.Fatalf("op %d: silent success with wrong index %+v", n, got)
+			}
+		} else {
+			if !errors.Is(err, fsio.ErrInjected) {
+				t.Fatalf("op %d: unexpected error: %v", n, err)
+			}
+			got := openAndFingerprint(t, dir)
+			if got != old && !(got.buildID != old.buildID && got.numTexts == newCorpus.NumTexts()) {
+				t.Fatalf("op %d: failed build left a mixed state: %+v -> %+v", n, old, got)
+			}
+			// A post-swap fsync failure reports an error with the new
+			// index already in place and the old one parked as backup.
+			committedDespiteError = got != old
+		}
+		// Error paths ran, so nothing may be left next to the index —
+		// except the parked backup in the committed-despite-error case,
+		// which the next open recovers.
+		entries, err := os.ReadDir(parent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if e.Name() == "ix" || (committedDespiteError && e.Name() == "ix"+backupSuffix) {
+				continue
+			}
+			t.Fatalf("op %d: leftover artifact %q", n, e.Name())
+		}
+	}
+}
+
+func TestBuildExternalCrashLoop(t *testing.T) {
+	oldCorpus := testCorpus(t, 12, 30, 60, 100, 7)
+	newCorpus := testCorpus(t, 20, 30, 60, 100, 8)
+	opts := BuildOptions{K: 2, Seed: 3, T: 10, Parallelism: 1, BatchTokens: 400}
+
+	path := filepath.Join(t.TempDir(), "c.tok")
+	if err := corpus.WriteFile(newCorpus, path); err != nil {
+		t.Fatal(err)
+	}
+	r, err := corpus.OpenReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	dry := filepath.Join(t.TempDir(), "ix")
+	seedIndex(t, dry, oldCorpus, opts)
+	counter := fsio.NewFaultFS(fsio.OS)
+	dryOpts := opts
+	dryOpts.FS = counter
+	if _, err := BuildExternal(r, dry, dryOpts); err != nil {
+		t.Fatal(err)
+	}
+	total := counter.Ops()
+
+	// The external build has many more ops (spill files); stride the
+	// loop to keep the test quick while still covering every phase.
+	stride := total/40 + 1
+	for n := 1; n <= total; n += stride {
+		dir := filepath.Join(t.TempDir(), "ix")
+		old := seedIndex(t, dir, oldCorpus, opts)
+		ffs := fsio.NewFaultFS(fsio.OS).FailAt(n)
+		crashOpts := opts
+		crashOpts.FS = ffs
+		if _, err := BuildExternal(r, dir, crashOpts); err == nil {
+			got := openAndFingerprint(t, dir)
+			if got.numTexts != newCorpus.NumTexts() {
+				t.Fatalf("op %d: silent success with wrong index %+v", n, got)
+			}
+			continue
+		}
+		checkCrashInvariant(t, dir, n, old, newCorpus.NumTexts())
+	}
+}
+
+func TestAppendCrashLoop(t *testing.T) {
+	base := testCorpus(t, 12, 30, 60, 100, 7)
+	extra := testCorpus(t, 8, 30, 60, 100, 9)
+	opts := BuildOptions{K: 2, Seed: 3, T: 10, Parallelism: 1}
+
+	dry := filepath.Join(t.TempDir(), "ix")
+	seedIndex(t, dry, base, opts)
+	counter := fsio.NewFaultFS(fsio.OS)
+	if err := appendFS(counter, dry, extra); err != nil {
+		t.Fatal(err)
+	}
+	total := counter.Ops()
+
+	appended := base.NumTexts() + extra.NumTexts()
+	for n := 1; n <= total; n++ {
+		dir := filepath.Join(t.TempDir(), "ix")
+		old := seedIndex(t, dir, base, opts)
+		ffs := fsio.NewFaultFS(fsio.OS).FailAt(n)
+		if err := appendFS(ffs, dir, extra); err == nil {
+			got := openAndFingerprint(t, dir)
+			if got.numTexts != appended {
+				t.Fatalf("op %d: silent success with wrong index %+v", n, got)
+			}
+			continue
+		}
+		got := openAndFingerprint(t, dir)
+		switch {
+		case got == old:
+		case got.buildID != old.buildID && got.numTexts == appended:
+		default:
+			t.Fatalf("op %d: mixed state after append crash: old %+v, got %+v", n, old, got)
+		}
+	}
+}
+
+// TestBuildShardedCrashSurvives spot-checks the sharded builder's
+// commit: crashes spread over its op range must leave the old index
+// openable or the new one fully committed.
+func TestBuildShardedCrashSurvives(t *testing.T) {
+	oldCorpus := testCorpus(t, 12, 30, 60, 100, 7)
+	newCorpus := testCorpus(t, 20, 30, 60, 100, 8)
+	opts := BuildOptions{K: 2, Seed: 3, T: 10, Parallelism: 1}
+
+	dry := filepath.Join(t.TempDir(), "ix")
+	seedIndex(t, dry, oldCorpus, opts)
+	counter := fsio.NewFaultFS(fsio.OS)
+	dryOpts := opts
+	dryOpts.FS = counter
+	if err := BuildSharded(newCorpus, dry, dryOpts, 3); err != nil {
+		t.Fatal(err)
+	}
+	total := counter.Ops()
+
+	// Shard builds run concurrently, so op numbering across shards is
+	// not deterministic — but the invariant must hold at every crash
+	// point regardless of which op the fault lands on.
+	stride := total/30 + 1
+	for n := 1; n <= total; n += stride {
+		dir := filepath.Join(t.TempDir(), "ix")
+		old := seedIndex(t, dir, oldCorpus, opts)
+		ffs := fsio.NewFaultFS(fsio.OS).FailAt(n)
+		crashOpts := opts
+		crashOpts.FS = ffs
+		if err := BuildSharded(newCorpus, dir, crashOpts, 3); err == nil {
+			// Concurrency may shift ops; a run that finishes under the
+			// fault budget simply committed.
+			got := openAndFingerprint(t, dir)
+			if got.numTexts != newCorpus.NumTexts() {
+				t.Fatalf("op %d: success with wrong index %+v", n, got)
+			}
+			continue
+		}
+		checkCrashInvariant(t, dir, n, old, newCorpus.NumTexts())
+	}
+}
+
+func TestOpenRecoversBackup(t *testing.T) {
+	c := testCorpus(t, 12, 30, 60, 100, 7)
+	opts := BuildOptions{K: 2, Seed: 3, T: 10, Parallelism: 1}
+
+	t.Run("restores parked index", func(t *testing.T) {
+		dir := filepath.Join(t.TempDir(), "ix")
+		old := seedIndex(t, dir, c, opts)
+		// Simulate a crash between the two commit renames: the previous
+		// index is parked at .old and dir is gone.
+		if err := os.Rename(dir, dir+backupSuffix); err != nil {
+			t.Fatal(err)
+		}
+		got := openAndFingerprint(t, dir)
+		if got != old {
+			t.Fatalf("restored index differs: %+v vs %+v", old, got)
+		}
+		if _, err := os.Stat(dir + backupSuffix); !os.IsNotExist(err) {
+			t.Fatalf("backup still present after recovery: %v", err)
+		}
+	})
+
+	t.Run("drops stale backup", func(t *testing.T) {
+		dir := filepath.Join(t.TempDir(), "ix")
+		old := seedIndex(t, dir, c, opts)
+		// Simulate a crash after the commit completed but before the
+		// backup removal: both dir and .old exist.
+		if err := os.MkdirAll(dir+backupSuffix, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir+backupSuffix, "index.meta"), []byte("stale"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got := openAndFingerprint(t, dir)
+		if got != old {
+			t.Fatalf("index changed by backup recovery: %+v vs %+v", old, got)
+		}
+		if _, err := os.Stat(dir + backupSuffix); !os.IsNotExist(err) {
+			t.Fatalf("stale backup not dropped: %v", err)
+		}
+	})
+}
+
+func TestBuildSweepsOrphans(t *testing.T) {
+	c := testCorpus(t, 12, 30, 60, 100, 7)
+	parent := t.TempDir()
+	dir := filepath.Join(parent, "ix")
+
+	// Plant artifacts a crashed prior build could have left: a staging
+	// directory next to dir and a spill file inside dir.
+	orphan := filepath.Join(parent, "ix.tmp-12345")
+	if err := os.MkdirAll(orphan, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(orphan, "index.000"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	spill := filepath.Join(dir, "spill-l0-p0-999")
+	if err := os.WriteFile(spill, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Build(c, dir, BuildOptions{K: 2, Seed: 3, T: 10, Parallelism: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatalf("orphan staging dir not swept: %v", err)
+	}
+	if _, err := os.Stat(spill); !os.IsNotExist(err) {
+		t.Fatalf("orphan spill not swept: %v", err)
+	}
+	openAndFingerprint(t, dir)
+}
+
+// TestWriterFinishFailureRemovesFile is the regression test for the
+// fileWriter error paths: a failure inside finish must not leave the
+// partial inverted file behind.
+func TestWriterFinishFailureRemovesFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "index.000")
+	ffs := fsio.NewFaultFS(fsio.OS).SetCrash(false)
+	w, err := newFileWriter(ffs, path, 0, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.addList(42, []record{{Hash: 42, Posting: Posting{TextID: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	// Ops so far: Create. The next write op is finish's buffered Flush.
+	ffs.FailAt(2)
+	if _, err := w.finish(); !errors.Is(err, fsio.ErrInjected) {
+		t.Fatalf("finish should fail with injected error, got %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("partial inverted file left behind: %v", err)
+	}
+	// abort after a failed finish must be a no-op, not a panic.
+	w.abort()
+}
+
+// TestReadErrorCarriesContext injects a read fault into the postings
+// region of an opened index and checks the failure surfaces as a
+// *ReadError naming the file and offset — never a panic.
+func TestReadErrorCarriesContext(t *testing.T) {
+	c := testCorpus(t, 30, 40, 100, 200, 61)
+	dir := t.TempDir()
+	if _, err := Build(c, dir, BuildOptions{K: 2, Seed: 5, T: 10, Parallelism: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ffs := fsio.NewFaultFS(fsio.OS)
+	ix, err := OpenFS(ffs, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+
+	// Fault a byte early in function 0's postings region; list reads
+	// covering it must fail, wrapped with context.
+	ffs.FailReadAt(funcFileName(0), idxHeaderLen+4)
+	var gotErr error
+	for _, h := range ix.Hashes(0) {
+		if _, err := ix.ReadList(0, h); err != nil {
+			gotErr = err
+			break
+		}
+	}
+	if gotErr == nil {
+		t.Fatal("no read covered the faulted offset")
+	}
+	var re *ReadError
+	if !errors.As(gotErr, &re) {
+		t.Fatalf("error does not carry ReadError context: %v", gotErr)
+	}
+	if re.Path == "" || re.Len <= 0 {
+		t.Fatalf("ReadError missing context: %+v", re)
+	}
+	if !(re.Off <= idxHeaderLen+4 && idxHeaderLen+4 < re.Off+int64(re.Len)) {
+		t.Fatalf("ReadError range [%d,%d) does not cover faulted offset", re.Off, re.Off+int64(re.Len))
+	}
+	if !errors.Is(gotErr, fsio.ErrInjected) {
+		t.Fatalf("wrapped cause lost: %v", gotErr)
+	}
+
+	// Clearing the fault makes the same reads succeed: the failure did
+	// not poison the open index.
+	ffs.ClearReadFault()
+	for _, h := range ix.Hashes(0) {
+		if _, err := ix.ReadList(0, h); err != nil {
+			t.Fatalf("read after fault cleared: %v", err)
+		}
+	}
+}

@@ -4,11 +4,11 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 	"time"
 
 	"ndss/internal/corpus"
+	"ndss/internal/fsio"
 	"ndss/internal/hash"
 	"ndss/internal/window"
 )
@@ -20,6 +20,11 @@ import (
 // to disk, and each partition is then loaded, sorted and appended to the
 // inverted file. A partition that still exceeds the memory budget is
 // recursively re-partitioned on higher hash bits.
+//
+// Like Build, the whole construction — spill files included — is
+// staged in a temp directory next to dir and committed atomically;
+// spill artifacts stranded by a crashed prior run are swept when the
+// build starts.
 func BuildExternal(r *corpus.Reader, dir string, opts BuildOptions) (*BuildStats, error) {
 	if err := opts.setDefaults(); err != nil {
 		return nil, err
@@ -28,6 +33,18 @@ func BuildExternal(r *corpus.Reader, dir string, opts BuildOptions) (*BuildStats
 	if err != nil {
 		return nil, err
 	}
+	fsys := opts.fsys()
+	staging, err := beginBuild(fsys, dir, true)
+	if err != nil {
+		return nil, err
+	}
+	committed := false
+	defer func() {
+		if !committed {
+			discardStaging(fsys, staging)
+		}
+	}()
+
 	stats := &BuildStats{WindowsPerFunc: make([]int64, opts.K)}
 
 	// Estimate partition fan-out so one partition fits the budget:
@@ -38,12 +55,15 @@ func BuildExternal(r *corpus.Reader, dir string, opts BuildOptions) (*BuildStats
 		fanout = 512
 	}
 
+	sums := make([]fileSum, opts.K)
 	for fn := 0; fn < opts.K; fn++ {
-		if err := buildExternalFunc(r, dir, fn, fam.Func(fn), fanout, opts, stats); err != nil {
+		sum, err := buildExternalFunc(r, fsys, staging, fn, fam.Func(fn), fanout, opts, stats)
+		if err != nil {
 			return nil, err
 		}
+		sums[fn] = sum
 	}
-	if err := writeMeta(dir, Meta{
+	meta := Meta{
 		K:              opts.K,
 		Seed:           opts.Seed,
 		T:              opts.T,
@@ -51,32 +71,38 @@ func BuildExternal(r *corpus.Reader, dir string, opts BuildOptions) (*BuildStats
 		TotalTokens:    r.TotalTokens(),
 		ZoneMapStep:    opts.ZoneMapStep,
 		LongListCutoff: opts.LongListCutoff,
-	}); err != nil {
+	}
+	if err := finishBuild(fsys, staging, dir, meta, sums); err != nil {
 		return nil, err
 	}
+	committed = true
 	return stats, nil
 }
 
 // spillSet is a group of open partition spill files at one recursion
-// level.
+// level. Every spill lives inside the build's staging directory, so
+// even a removal that never runs (crash) is swept with the staging
+// orphan by the next build.
 type spillSet struct {
+	fs    fsio.FS
 	dir   string
 	level int
-	files []*os.File
+	files []fsio.File
 	bufs  []*bufio.Writer
 	sizes []int64
 }
 
-func newSpillSet(dir string, level, fanout int) (*spillSet, error) {
+func newSpillSet(fsys fsio.FS, dir string, level, fanout int) (*spillSet, error) {
 	s := &spillSet{
+		fs:    fsys,
 		dir:   dir,
 		level: level,
-		files: make([]*os.File, fanout),
+		files: make([]fsio.File, fanout),
 		bufs:  make([]*bufio.Writer, fanout),
 		sizes: make([]int64, fanout),
 	}
 	for p := 0; p < fanout; p++ {
-		f, err := os.CreateTemp(dir, fmt.Sprintf("spill-l%d-p%d-*", level, p))
+		f, err := fsys.CreateTemp(dir, fmt.Sprintf("spill-l%d-p%d-*", level, p))
 		if err != nil {
 			s.cleanup()
 			return nil, fmt.Errorf("index: create spill: %w", err)
@@ -117,20 +143,24 @@ func (s *spillSet) flush() error {
 	return nil
 }
 
+// cleanup closes and removes every spill file. It runs on success and
+// on every error return path; removal failures leave orphans inside
+// the staging directory only, which the next build sweeps.
 func (s *spillSet) cleanup() {
-	for _, f := range s.files {
+	for i, f := range s.files {
 		if f != nil {
 			name := f.Name()
 			f.Close()
-			os.Remove(name)
+			s.fs.Remove(name)
+			s.files[i] = nil
 		}
 	}
 }
 
-func buildExternalFunc(r *corpus.Reader, dir string, fn int, f hash.Func, fanout int, opts BuildOptions, stats *BuildStats) error {
-	spill, err := newSpillSet(dir, 0, fanout)
+func buildExternalFunc(r *corpus.Reader, fsys fsio.FS, dir string, fn int, f hash.Func, fanout int, opts BuildOptions, stats *BuildStats) (fileSum, error) {
+	spill, err := newSpillSet(fsys, dir, 0, fanout)
 	if err != nil {
-		return err
+		return fileSum{}, err
 	}
 	defer spill.cleanup()
 
@@ -172,31 +202,31 @@ func buildExternalFunc(r *corpus.Reader, dir string, fn int, f hash.Func, fanout
 		return nil
 	})
 	if streamErr != nil {
-		return streamErr
+		return fileSum{}, streamErr
 	}
 	ioStart := time.Now()
 	if err := spill.flush(); err != nil {
-		return err
+		return fileSum{}, err
 	}
 
 	// Pass 2: aggregate each partition into the inverted file.
-	w, err := newFileWriter(indexPath(dir, fn), fn, opts.ZoneMapStep, opts.LongListCutoff)
+	w, err := newFileWriter(fsys, indexPath(dir, fn), fn, opts.ZoneMapStep, opts.LongListCutoff)
 	if err != nil {
-		return err
+		return fileSum{}, err
 	}
 	for p, f := range spill.files {
-		if err := aggregatePartition(f, spill.sizes[p], 1, dir, opts, w); err != nil {
+		if err := aggregatePartition(f, spill.sizes[p], 1, fsys, dir, opts, w); err != nil {
 			w.abort()
-			return err
+			return fileSum{}, err
 		}
 	}
-	n, err := w.finish()
+	sum, err := w.finish()
 	if err != nil {
-		return err
+		return fileSum{}, err
 	}
 	stats.IOTime += time.Since(ioStart)
-	stats.BytesWritten += n
-	return nil
+	stats.BytesWritten += sum.size
+	return sum, nil
 }
 
 // maxRecursionDepth bounds recursive re-partitioning. A partition made of
@@ -207,12 +237,12 @@ const maxRecursionDepth = 6
 // aggregatePartition loads one spill file, sorts its records and appends
 // complete inverted lists to w. Over-budget partitions are re-partitioned
 // on higher hash bits first (recursive partitioning).
-func aggregatePartition(f *os.File, size int64, level int, dir string, opts BuildOptions, w *fileWriter) error {
+func aggregatePartition(f fsio.File, size int64, level int, fsys fsio.FS, dir string, opts BuildOptions, w *fileWriter) error {
 	if size == 0 {
 		return nil
 	}
 	if size > opts.MemoryBudget && level <= maxRecursionDepth {
-		return repartition(f, size, level, dir, opts, w)
+		return repartition(f, size, level, fsys, dir, opts, w)
 	}
 	recs, err := readAllRecords(f, size)
 	if err != nil {
@@ -223,8 +253,9 @@ func aggregatePartition(f *os.File, size int64, level int, dir string, opts Buil
 }
 
 // repartition splits an over-budget spill file into sub-partitions on a
-// fresh range of hash bits and aggregates each.
-func repartition(f *os.File, size int64, level int, dir string, opts BuildOptions, w *fileWriter) error {
+// fresh range of hash bits and aggregates each. The sub-spills are
+// cleaned up on success and on every error return path.
+func repartition(f fsio.File, size int64, level int, fsys fsio.FS, dir string, opts BuildOptions, w *fileWriter) error {
 	fanout := int(size/opts.MemoryBudget) + 1
 	if fanout < 2 {
 		fanout = 2
@@ -232,7 +263,7 @@ func repartition(f *os.File, size int64, level int, dir string, opts BuildOption
 	if fanout > 512 {
 		fanout = 512
 	}
-	sub, err := newSpillSet(dir, level, fanout)
+	sub, err := newSpillSet(fsys, dir, level, fanout)
 	if err != nil {
 		return err
 	}
@@ -254,14 +285,14 @@ func repartition(f *os.File, size int64, level int, dir string, opts BuildOption
 		return err
 	}
 	for p, sf := range sub.files {
-		if err := aggregatePartition(sf, sub.sizes[p], level+1, dir, opts, w); err != nil {
+		if err := aggregatePartition(sf, sub.sizes[p], level+1, fsys, dir, opts, w); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func readAllRecords(f *os.File, size int64) ([]record, error) {
+func readAllRecords(f fsio.File, size int64) ([]record, error) {
 	if size%recordSize != 0 {
 		return nil, fmt.Errorf("index: spill size %d not a record multiple", size)
 	}
@@ -280,14 +311,15 @@ func readAllRecords(f *os.File, size int64) ([]record, error) {
 }
 
 // CleanSpills removes leftover spill files from dir (normally none; a
-// crashed build may leave them).
+// crashed pre-manifest build may have left them — the staged builders
+// also sweep them automatically at build start).
 func CleanSpills(dir string) error {
-	matches, err := filepath.Glob(filepath.Join(dir, "spill-*"))
+	matches, err := fsio.OS.Glob(filepath.Join(dir, "spill-*"))
 	if err != nil {
 		return err
 	}
 	for _, m := range matches {
-		if err := os.Remove(m); err != nil {
+		if err := fsio.OS.Remove(m); err != nil {
 			return err
 		}
 	}

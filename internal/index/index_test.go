@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"ndss/internal/corpus"
+	"ndss/internal/fsio"
 	"ndss/internal/hash"
 	"ndss/internal/window"
 )
@@ -328,10 +329,10 @@ func TestExternalBuildRecursivePartitioning(t *testing.T) {
 func TestMetaRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	m := Meta{K: 8, Seed: -3, T: 50, NumTexts: 10, TotalTokens: 999, ZoneMapStep: 64, LongListCutoff: 128}
-	if err := writeMeta(dir, m); err != nil {
+	if err := writeMeta(fsio.OS, dir, m); err != nil {
 		t.Fatal(err)
 	}
-	got, err := readMeta(dir)
+	got, err := readMeta(fsio.OS, dir)
 	if err != nil {
 		t.Fatal(err)
 	}

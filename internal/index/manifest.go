@@ -1,0 +1,114 @@
+package index
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"ndss/internal/fsio"
+)
+
+// The build manifest (index.manifest) ties the k inverted files of a
+// directory to a single build: it records the build ID, the format
+// version, the metadata, and each file's size and checksums as written.
+// Open cross-checks the directory against the manifest, so an index
+// assembled from a mix of builds — the signature of a non-atomic
+// rebuild interrupted partway — is rejected with a diagnostic instead
+// of silently serving wrong matches. Directories without a manifest
+// (written before manifests existed) open through the index.meta
+// compatibility path with no cross-check.
+
+const (
+	manifestFileName      = "index.manifest"
+	manifestFormatVersion = 1
+)
+
+// ManifestFile records one inverted file as the builder wrote it.
+// DirCRC and RegionCRC duplicate the file's trailer checksums, so Open
+// can match file to manifest from bytes it already reads — no extra
+// I/O — while a full re-read is still available via VerifyIntegrity.
+type ManifestFile struct {
+	Name      string `json:"name"`
+	Size      int64  `json:"size"`
+	DirCRC    uint32 `json:"dir_crc32"`
+	RegionCRC uint32 `json:"region_crc32"`
+}
+
+// Manifest is the on-disk build manifest.
+type Manifest struct {
+	FormatVersion int            `json:"format_version"`
+	BuildID       string         `json:"build_id"`
+	CreatedUnix   int64          `json:"created_unix"`
+	Meta          Meta           `json:"meta"`
+	Files         []ManifestFile `json:"files"`
+}
+
+// newBuildID returns a fresh random build identifier.
+func newBuildID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fall back to a time-derived ID; uniqueness per directory is
+		// all the lifecycle needs.
+		return fmt.Sprintf("t%016x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// newManifest assembles the manifest for a completed build.
+func newManifest(meta Meta, sums []fileSum) Manifest {
+	files := make([]ManifestFile, len(sums))
+	for i, s := range sums {
+		files[i] = ManifestFile{
+			Name:      funcFileName(i),
+			Size:      s.size,
+			DirCRC:    s.dirCRC,
+			RegionCRC: s.regionCRC,
+		}
+	}
+	return Manifest{
+		FormatVersion: manifestFormatVersion,
+		BuildID:       newBuildID(),
+		CreatedUnix:   time.Now().Unix(),
+		Meta:          meta,
+		Files:         files,
+	}
+}
+
+func writeManifest(fsys fsio.FS, dir string, m Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("index: marshal manifest: %w", err)
+	}
+	if err := fsio.WriteFileSync(fsys, filepath.Join(dir, manifestFileName), data); err != nil {
+		return fmt.Errorf("index: write manifest: %w", err)
+	}
+	return nil
+}
+
+func readManifest(fsys fsio.FS, dir string) (*Manifest, error) {
+	data, err := fsys.ReadFile(filepath.Join(dir, manifestFileName))
+	if err != nil {
+		return nil, fmt.Errorf("index: read manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("index: parse manifest (truncated or corrupt): %w", err)
+	}
+	if m.FormatVersion != manifestFormatVersion {
+		return nil, fmt.Errorf("index: manifest format version %d, this build understands %d",
+			m.FormatVersion, manifestFormatVersion)
+	}
+	if m.BuildID == "" {
+		return nil, fmt.Errorf("index: manifest has no build id")
+	}
+	if err := m.Meta.validate(); err != nil {
+		return nil, err
+	}
+	if len(m.Files) != m.Meta.K {
+		return nil, fmt.Errorf("index: manifest lists %d files for k=%d", len(m.Files), m.Meta.K)
+	}
+	return &m, nil
+}

@@ -2,11 +2,11 @@ package index
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"sync"
 
 	"ndss/internal/corpus"
+	"ndss/internal/fsio"
 )
 
 // MergeShards merges index directories built over consecutive corpus
@@ -16,10 +16,17 @@ import (
 // merged lists stay sorted by text id. All shards must share K, Seed
 // and T. Zone maps are regenerated for the merged lists.
 //
+// Like the builders, the merge is staged and committed atomically: a
+// failed merge leaves any previous index at outDir untouched.
+//
 // This realizes the paper's parallel-build strategy — per-worker
 // private index state merged and flushed at the end — at directory
 // granularity.
 func MergeShards(shardDirs []string, offsets []uint32, outDir string) error {
+	return mergeShardsFS(fsio.OS, shardDirs, offsets, outDir)
+}
+
+func mergeShardsFS(fsys fsio.FS, shardDirs []string, offsets []uint32, outDir string) error {
 	if len(shardDirs) == 0 {
 		return fmt.Errorf("index: no shards to merge")
 	}
@@ -28,7 +35,7 @@ func MergeShards(shardDirs []string, offsets []uint32, outDir string) error {
 	}
 	shards := make([]*Index, len(shardDirs))
 	for i, dir := range shardDirs {
-		ix, err := Open(dir)
+		ix, err := OpenFS(fsys, dir)
 		if err != nil {
 			return fmt.Errorf("index: open shard %d: %w", i, err)
 		}
@@ -49,23 +56,37 @@ func MergeShards(shardDirs []string, offsets []uint32, outDir string) error {
 		merged.NumTexts += m.NumTexts
 		merged.TotalTokens += m.TotalTokens
 	}
-	if err := os.MkdirAll(outDir, 0o755); err != nil {
+	staging, err := beginBuild(fsys, outDir, false)
+	if err != nil {
 		return err
 	}
+	committed := false
+	defer func() {
+		if !committed {
+			discardStaging(fsys, staging)
+		}
+	}()
 
+	sums := make([]fileSum, base.K)
 	for fn := 0; fn < base.K; fn++ {
-		if err := mergeFunc(shards, offsets, outDir, fn, merged); err != nil {
+		sum, err := mergeFunc(fsys, shards, offsets, staging, fn, merged)
+		if err != nil {
 			return err
 		}
+		sums[fn] = sum
 	}
-	return writeMeta(outDir, merged)
+	if err := finishBuild(fsys, staging, outDir, merged, sums); err != nil {
+		return err
+	}
+	committed = true
+	return nil
 }
 
 // mergeFunc k-way merges one hash function's lists across shards.
-func mergeFunc(shards []*Index, offsets []uint32, outDir string, fn int, meta Meta) error {
-	w, err := newFileWriter(filepath.Join(outDir, funcFileName(fn)), fn, meta.ZoneMapStep, meta.LongListCutoff)
+func mergeFunc(fsys fsio.FS, shards []*Index, offsets []uint32, outDir string, fn int, meta Meta) (fileSum, error) {
+	w, err := newFileWriter(fsys, filepath.Join(outDir, funcFileName(fn)), fn, meta.ZoneMapStep, meta.LongListCutoff)
 	if err != nil {
-		return err
+		return fileSum{}, err
 	}
 	hashes := make([][]uint64, len(shards))
 	cursor := make([]int, len(shards))
@@ -99,7 +120,7 @@ func mergeFunc(shards []*Index, offsets []uint32, outDir string, fn int, meta Me
 			ps, err := sh.ReadList(fn, cur)
 			if err != nil {
 				w.abort()
-				return err
+				return fileSum{}, err
 			}
 			for _, p := range ps {
 				p.TextID += offsets[i]
@@ -108,13 +129,10 @@ func mergeFunc(shards []*Index, offsets []uint32, outDir string, fn int, meta Me
 		}
 		if err := w.addList(cur, recs); err != nil {
 			w.abort()
-			return err
+			return fileSum{}, err
 		}
 	}
-	if _, err := w.finish(); err != nil {
-		return err
-	}
-	return nil
+	return w.finish()
 }
 
 // Append extends an existing index at dir with new texts: it builds a
@@ -122,49 +140,74 @@ func mergeFunc(shards []*Index, offsets []uint32, outDir string, fn int, meta Me
 // corpus) and merges base + delta into a fresh directory, which then
 // atomically replaces dir. The result is identical to rebuilding over
 // the concatenated corpus.
+//
+// The merged output is fully fsynced before the swap, the swap itself
+// is the same backed-up rename dance as the builders' commit, and a
+// leftover "<dir>.old" backup from an interrupted prior swap is
+// recovered (restored or deleted) before the append starts.
 func Append(dir string, newTexts *corpus.Corpus) error {
-	meta, err := readMeta(dir)
+	return appendFS(fsio.OS, dir, newTexts)
+}
+
+func appendFS(fsys fsio.FS, dir string, newTexts *corpus.Corpus) error {
+	if err := recoverBackup(fsys, dir); err != nil {
+		return err
+	}
+	// Sweep here, before our own delta/merge workspaces exist; the
+	// nested Build and merge below must not sweep (their pattern
+	// matches our live workspaces).
+	if err := sweepOrphans(fsys, dir); err != nil {
+		return err
+	}
+	meta, err := loadMeta(fsys, dir)
 	if err != nil {
 		return err
 	}
-	parent := filepath.Dir(dir)
-	deltaDir, err := os.MkdirTemp(parent, "ndss-delta-*")
+	parent, pattern := stagingPattern(dir)
+	deltaDir, err := fsys.MkdirTemp(parent, pattern)
 	if err != nil {
 		return err
 	}
-	defer os.RemoveAll(deltaDir)
+	defer fsys.RemoveAll(deltaDir)
 	opts := BuildOptions{
 		K: meta.K, Seed: meta.Seed, T: meta.T,
 		ZoneMapStep: meta.ZoneMapStep, LongListCutoff: meta.LongListCutoff,
+		FS: fsys,
 	}
 	if _, err := Build(newTexts, deltaDir, opts); err != nil {
 		return err
 	}
-	outDir, err := os.MkdirTemp(parent, "ndss-merged-*")
+	outDir, err := fsys.MkdirTemp(parent, pattern)
 	if err != nil {
 		return err
 	}
-	if err := MergeShards([]string{dir, deltaDir}, []uint32{0, uint32(meta.NumTexts)}, outDir); err != nil {
-		os.RemoveAll(outDir)
+	defer fsys.RemoveAll(outDir)
+	// mergeShardsFS commits the merged index into outDir durably
+	// (data files, manifest and directory all fsynced) before the
+	// final swap below touches dir.
+	if err := mergeShardsFS(fsys, []string{dir, deltaDir}, []uint32{0, uint32(meta.NumTexts)}, outDir); err != nil {
 		return err
 	}
 	// Swap the merged index into place.
-	backup := dir + ".old"
-	if err := os.Rename(dir, backup); err != nil {
-		os.RemoveAll(outDir)
+	backup := dir + backupSuffix
+	if err := fsys.Rename(dir, backup); err != nil {
 		return err
 	}
-	if err := os.Rename(outDir, dir); err != nil {
-		os.Rename(backup, dir) // best-effort restore
-		os.RemoveAll(outDir)
+	if err := fsys.Rename(outDir, dir); err != nil {
+		fsys.Rename(backup, dir) // best-effort restore
 		return err
 	}
-	return os.RemoveAll(backup)
+	if err := fsys.SyncDir(parent); err != nil {
+		return err
+	}
+	fsys.RemoveAll(backup) // best-effort; recoverBackup clears leftovers
+	return nil
 }
 
 // BuildSharded splits an in-memory corpus into numShards consecutive
 // chunks, builds a shard index for each concurrently, and merges them
-// into dir. The result is identical to Build over the whole corpus.
+// into dir with the same atomic-commit protocol as Build. The result
+// is identical to Build over the whole corpus.
 func BuildSharded(c *corpus.Corpus, dir string, opts BuildOptions, numShards int) error {
 	if numShards < 1 {
 		numShards = 1
@@ -175,17 +218,27 @@ func BuildSharded(c *corpus.Corpus, dir string, opts BuildOptions, numShards int
 	if err := opts.setDefaults(); err != nil {
 		return err
 	}
-	tmp, err := os.MkdirTemp(dir, "shards-*")
-	if err != nil {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return err
-		}
-		tmp, err = os.MkdirTemp(dir, "shards-*")
-		if err != nil {
-			return err
-		}
+	fsys := opts.fsys()
+	parent, pattern := stagingPattern(dir)
+	if err := fsys.MkdirAll(parent, 0o755); err != nil {
+		return err
 	}
-	defer os.RemoveAll(tmp)
+	if err := recoverBackup(fsys, dir); err != nil {
+		return err
+	}
+	// Sweep before creating the shard workspace; the final merge passes
+	// sweep=false since the workspace matches the orphan pattern.
+	if err := sweepOrphans(fsys, dir); err != nil {
+		return err
+	}
+	// Shard workspaces are siblings of dir so a crash leaves them as
+	// sweepable orphans, and the final merge commits into dir
+	// atomically.
+	tmp, err := fsys.MkdirTemp(parent, pattern)
+	if err != nil {
+		return err
+	}
+	defer fsys.RemoveAll(tmp)
 
 	chunk := (c.NumTexts() + numShards - 1) / numShards
 	var (
@@ -208,9 +261,6 @@ func BuildSharded(c *corpus.Corpus, dir string, opts BuildOptions, numShards int
 			break
 		}
 		sd := filepath.Join(tmp, fmt.Sprintf("shard-%03d", s))
-		if err := os.MkdirAll(sd, 0o755); err != nil {
-			return err
-		}
 		shardDirs = append(shardDirs, sd)
 		offsets = append(offsets, uint32(start))
 		jobs = append(jobs, job{dir: sd, start: start, end: end})
@@ -236,5 +286,5 @@ func BuildSharded(c *corpus.Corpus, dir string, opts BuildOptions, numShards int
 			return fmt.Errorf("index: build shard %d: %w", i, err)
 		}
 	}
-	return MergeShards(shardDirs, offsets, dir)
+	return mergeShardsFS(fsys, shardDirs, offsets, dir)
 }

@@ -5,22 +5,23 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"ndss/internal/fsio"
 	"ndss/internal/hash"
 )
 
 // Index is an opened index directory: k inverted files plus metadata.
 // It is safe for concurrent readers.
 type Index struct {
-	meta   Meta
-	family *hash.Family
-	files  []*funcFile
+	meta     Meta
+	manifest *Manifest // nil for pre-manifest (legacy) indexes
+	family   *hash.Family
+	files    []*funcFile
 
 	// I/O accounting for the latency-split experiments (Fig 3). Updated
 	// atomically on every read.
@@ -31,36 +32,110 @@ type Index struct {
 // funcFile is one opened inverted file with its directory resident in
 // memory.
 type funcFile struct {
-	f         *os.File
+	f         fsio.File
+	path      string
+	size      int64
 	entries   []dirEntry // sorted by hash
 	dirOff    uint64
 	regionCRC uint32
+	dirCRC    uint32
 }
 
+// ReadError reports a failed or short read of an inverted file with
+// enough context (file, offset, length) to diagnose which part of which
+// file is unreadable. It wraps the underlying error, so callers can
+// still errors.Is/As through it.
+type ReadError struct {
+	Path string // inverted file the read targeted
+	Off  int64  // absolute file offset of the read
+	Len  int    // bytes requested
+	Err  error  // underlying cause
+}
+
+func (e *ReadError) Error() string {
+	return fmt.Sprintf("index: read %s @%d (%d bytes): %v", e.Path, e.Off, e.Len, e.Err)
+}
+
+func (e *ReadError) Unwrap() error { return e.Err }
+
 // Open opens an index directory written by one of the builders.
+//
+// A directory with a build manifest is cross-checked against it: every
+// inverted file must exist with exactly the size and checksums the
+// manifest records, so a torn build or a file swapped in from a
+// different build is rejected with a diagnostic instead of serving
+// wrong results. A leftover commit backup from an interrupted build
+// swap is recovered first. Pre-manifest directories (bare index.meta)
+// still open, reporting build id "legacy".
 func Open(dir string) (*Index, error) {
-	meta, err := readMeta(dir)
-	if err != nil {
+	return OpenFS(fsio.OS, dir)
+}
+
+// OpenFS is Open reading through an explicit filesystem; tests inject
+// fault-carrying implementations.
+func OpenFS(fsys fsio.FS, dir string) (*Index, error) {
+	if err := recoverBackup(fsys, dir); err != nil {
+		return nil, err
+	}
+	var (
+		meta Meta
+		man  *Manifest
+	)
+	m, err := readManifest(fsys, dir)
+	switch {
+	case err == nil:
+		man = m
+		meta = m.Meta
+	case fsio.NotExist(err):
+		// Pre-manifest index: fall back to the bare metadata file.
+		meta, err = readMeta(fsys, dir)
+		if err != nil {
+			return nil, err
+		}
+	default:
 		return nil, err
 	}
 	fam, err := hash.NewFamily(meta.K, meta.Seed)
 	if err != nil {
 		return nil, err
 	}
-	ix := &Index{meta: meta, family: fam}
+	ix := &Index{meta: meta, manifest: man, family: fam}
 	for i := 0; i < meta.K; i++ {
-		ff, err := openFuncFile(filepath.Join(dir, funcFileName(i)), i)
+		ff, err := openFuncFile(fsys, filepath.Join(dir, funcFileName(i)), i)
 		if err != nil {
 			ix.Close()
 			return nil, err
+		}
+		if man != nil {
+			if err := man.checkFile(i, ff.size, ff.dirCRC, ff.regionCRC); err != nil {
+				ff.f.Close()
+				ix.Close()
+				return nil, err
+			}
 		}
 		ix.files = append(ix.files, ff)
 	}
 	return ix, nil
 }
 
-func openFuncFile(path string, wantIdx int) (*funcFile, error) {
-	f, err := os.Open(path)
+// checkFile cross-checks an opened inverted file against the manifest
+// entry of the same function. The trailer checksums were already read
+// by openFuncFile, so the check costs no extra I/O.
+func (m *Manifest) checkFile(i int, size int64, dirCRC, regionCRC uint32) error {
+	want := m.Files[i]
+	if size != want.Size {
+		return fmt.Errorf("index: %s: size %d does not match manifest of build %s (want %d): file from a torn or mixed build",
+			want.Name, size, m.BuildID, want.Size)
+	}
+	if dirCRC != want.DirCRC || regionCRC != want.RegionCRC {
+		return fmt.Errorf("index: %s: checksums (dir %08x, region %08x) do not match manifest of build %s (dir %08x, region %08x): file from a torn or mixed build",
+			want.Name, dirCRC, regionCRC, m.BuildID, want.DirCRC, want.RegionCRC)
+	}
+	return nil
+}
+
+func openFuncFile(fsys fsio.FS, path string, wantIdx int) (*funcFile, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("index: open inverted file: %w", err)
 	}
@@ -76,7 +151,7 @@ func openFuncFile(path string, wantIdx int) (*funcFile, error) {
 	var hdr [idxHeaderLen]byte
 	if _, err := f.ReadAt(hdr[:], 0); err != nil {
 		f.Close()
-		return nil, err
+		return nil, &ReadError{Path: path, Off: 0, Len: len(hdr), Err: err}
 	}
 	if string(hdr[:8]) != idxMagic {
 		f.Close()
@@ -89,7 +164,7 @@ func openFuncFile(path string, wantIdx int) (*funcFile, error) {
 	var tb [trailerLen]byte
 	if _, err := f.ReadAt(tb[:], st.Size()-trailerLen); err != nil {
 		f.Close()
-		return nil, err
+		return nil, &ReadError{Path: path, Off: st.Size() - trailerLen, Len: len(tb), Err: err}
 	}
 	dirOff := binary.LittleEndian.Uint64(tb[0:])
 	numLists := binary.LittleEndian.Uint64(tb[8:])
@@ -102,7 +177,7 @@ func openFuncFile(path string, wantIdx int) (*funcFile, error) {
 	buf := make([]byte, numLists*dirEntrySize)
 	if _, err := f.ReadAt(buf, int64(dirOff)); err != nil {
 		f.Close()
-		return nil, err
+		return nil, &ReadError{Path: path, Off: int64(dirOff), Len: len(buf), Err: err}
 	}
 	if got := crc32.ChecksumIEEE(buf); got != dirCRC {
 		f.Close()
@@ -119,7 +194,15 @@ func openFuncFile(path string, wantIdx int) (*funcFile, error) {
 			ZoneOff:   binary.LittleEndian.Uint64(b[24:]),
 		}
 	}
-	return &funcFile{f: f, entries: entries, dirOff: dirOff, regionCRC: regionCRC}, nil
+	return &funcFile{
+		f:         f,
+		path:      path,
+		size:      st.Size(),
+		entries:   entries,
+		dirOff:    dirOff,
+		regionCRC: regionCRC,
+		dirCRC:    dirCRC,
+	}, nil
 }
 
 // VerifyIntegrity re-reads every inverted file's postings/zones region
@@ -158,6 +241,19 @@ func (ix *Index) Close() error {
 
 // Meta returns the index metadata.
 func (ix *Index) Meta() Meta { return ix.meta }
+
+// Manifest returns the build manifest the index was opened with, or nil
+// for a pre-manifest (legacy) index.
+func (ix *Index) Manifest() *Manifest { return ix.manifest }
+
+// BuildID identifies the build that produced this index. Pre-manifest
+// indexes report "legacy".
+func (ix *Index) BuildID() string {
+	if ix.manifest != nil {
+		return ix.manifest.BuildID
+	}
+	return "legacy"
+}
 
 // Family returns the hash family the index was built with. Queries must
 // sketch with this family.
@@ -235,7 +331,8 @@ func getReadBuf(n int) *[]byte {
 // counters always, plus the caller's per-query sink when non-nil. The
 // counters record the bytes ReadAt actually returned, so a failed or
 // short read (truncated file, I/O error) is charged for what was read,
-// not for what was asked.
+// not for what was asked. Failures come back as *ReadError carrying the
+// file, offset and length.
 func (ix *Index) readAt(ff *funcFile, buf []byte, off int64, sink *IOStats) error {
 	start := time.Now()
 	n, err := ff.f.ReadAt(buf, off)
@@ -249,7 +346,10 @@ func (ix *Index) readAt(ff *funcFile, buf []byte, off int64, sink *IOStats) erro
 	if err == nil && n < len(buf) {
 		err = io.ErrUnexpectedEOF
 	}
-	return err
+	if err != nil {
+		return &ReadError{Path: ff.path, Off: off, Len: len(buf), Err: err}
+	}
+	return nil
 }
 
 // ReadList reads the entire inverted list for hash h of function fn.

@@ -6,8 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"sort"
+
+	"ndss/internal/fsio"
 )
 
 // Per-function inverted file layout (little-endian):
@@ -26,7 +27,8 @@ import (
 // dirCRC (IEEE CRC-32 of the directory bytes) is verified when the file
 // is opened; regionCRC covers the postings/zones region and is checked
 // on demand by Index.VerifyIntegrity, since validating it requires
-// reading the whole file.
+// reading the whole file. Both checksums are also recorded in the build
+// manifest so Open can reject a file from a different build.
 
 const (
 	idxMagic      = "NDSSIDX1"
@@ -52,10 +54,21 @@ type zoneEntry struct {
 	Ordinal     uint32 // index of the zone's first posting within the list
 }
 
+// fileSum describes a finished inverted file for the build manifest.
+type fileSum struct {
+	size      int64
+	dirCRC    uint32
+	regionCRC uint32
+}
+
 // fileWriter streams one inverted file. Lists may be added in any hash
-// order; the directory is sorted before being written.
+// order; the directory is sorted before being written. Every failure
+// exit — including failures inside finish — removes the partial file,
+// so an interrupted build never leaves a stray index.NNN behind.
 type fileWriter struct {
-	f          *os.File
+	fs         fsio.FS
+	path       string
+	f          fsio.File
 	w          *bufio.Writer
 	pos        uint64
 	entries    []dirEntry
@@ -66,15 +79,17 @@ type fileWriter struct {
 	closed     bool
 }
 
-func newFileWriter(path string, funcIdx, zoneStep, longCutoff int) (*fileWriter, error) {
+func newFileWriter(fsys fsio.FS, path string, funcIdx, zoneStep, longCutoff int) (*fileWriter, error) {
 	if zoneStep < 1 {
 		return nil, fmt.Errorf("index: zone step must be positive, got %d", zoneStep)
 	}
-	f, err := os.Create(path)
+	f, err := fsys.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("index: create inverted file: %w", err)
 	}
 	w := &fileWriter{
+		fs:         fsys,
+		path:       path,
 		f:          f,
 		w:          bufio.NewWriterSize(f, 1<<20),
 		zoneStep:   zoneStep,
@@ -84,7 +99,7 @@ func newFileWriter(path string, funcIdx, zoneStep, longCutoff int) (*fileWriter,
 	copy(hdr[:8], idxMagic)
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(funcIdx))
 	if _, err := w.w.Write(hdr[:]); err != nil {
-		f.Close()
+		w.discard()
 		return nil, err
 	}
 	w.pos = idxHeaderLen
@@ -136,18 +151,19 @@ func (w *fileWriter) addList(h uint64, recs []record) error {
 	return nil
 }
 
-// finish writes the directory and trailer and closes the file. It
-// returns the final file size in bytes.
-func (w *fileWriter) finish() (int64, error) {
+// finish writes the directory and trailer, fsyncs, and closes the
+// file. It returns the file's size and checksums for the build
+// manifest. Any failure removes the partial file.
+func (w *fileWriter) finish() (fileSum, error) {
 	if w.closed {
-		return 0, errors.New("index: writer already finished")
+		return fileSum{}, errors.New("index: writer already finished")
 	}
 	w.closed = true
 	sort.Slice(w.entries, func(i, j int) bool { return w.entries[i].Hash < w.entries[j].Hash })
 	for i := 1; i < len(w.entries); i++ {
 		if w.entries[i].Hash == w.entries[i-1].Hash {
-			w.f.Close()
-			return 0, fmt.Errorf("index: hash %x written as two lists", w.entries[i].Hash)
+			w.remove()
+			return fileSum{}, fmt.Errorf("index: hash %x written as two lists", w.entries[i].Hash)
 		}
 	}
 	dirOff := w.pos
@@ -160,8 +176,8 @@ func (w *fileWriter) finish() (int64, error) {
 		binary.LittleEndian.PutUint32(eb[20:], e.ZoneCount)
 		binary.LittleEndian.PutUint64(eb[24:], e.ZoneOff)
 		if _, err := w.w.Write(eb[:]); err != nil {
-			w.f.Close()
-			return 0, err
+			w.remove()
+			return fileSum{}, err
 		}
 		dirCRC = crc32.Update(dirCRC, crc32.IEEETable, eb[:])
 	}
@@ -172,26 +188,42 @@ func (w *fileWriter) finish() (int64, error) {
 	binary.LittleEndian.PutUint32(tb[16:], w.regionCRC)
 	binary.LittleEndian.PutUint32(tb[20:], dirCRC)
 	if _, err := w.w.Write(tb[:]); err != nil {
-		w.f.Close()
-		return 0, err
+		w.remove()
+		return fileSum{}, err
 	}
 	w.pos += trailerLen
 	if err := w.w.Flush(); err != nil {
-		w.f.Close()
-		return 0, err
+		w.remove()
+		return fileSum{}, err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.remove()
+		return fileSum{}, err
 	}
 	if err := w.f.Close(); err != nil {
-		return 0, err
+		w.fs.Remove(w.path)
+		return fileSum{}, err
 	}
-	return int64(w.pos), nil
+	return fileSum{size: int64(w.pos), dirCRC: dirCRC, regionCRC: w.regionCRC}, nil
 }
 
-// abort closes and removes the partially written file.
+// abort closes and removes the partially written file. Safe to call
+// after finish (it is then a no-op).
 func (w *fileWriter) abort() {
 	if !w.closed {
-		w.closed = true
-		name := w.f.Name()
-		w.f.Close()
-		os.Remove(name)
+		w.discard()
 	}
+}
+
+// discard marks the writer closed, closes the file and removes it.
+func (w *fileWriter) discard() {
+	w.closed = true
+	w.remove()
+}
+
+// remove closes and deletes the underlying file (best-effort; a failed
+// removal is an orphan inside a staging directory, swept later).
+func (w *fileWriter) remove() {
+	w.f.Close()
+	w.fs.Remove(w.path)
 }

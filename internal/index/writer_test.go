@@ -1,6 +1,7 @@
 package index
 
 import (
+	"ndss/internal/fsio"
 	"path/filepath"
 	"testing"
 )
@@ -9,7 +10,7 @@ import (
 
 func newTestWriter(t *testing.T) *fileWriter {
 	t.Helper()
-	w, err := newFileWriter(filepath.Join(t.TempDir(), "f.idx"), 0, 4, 8)
+	w, err := newFileWriter(fsio.OS, filepath.Join(t.TempDir(), "f.idx"), 0, 4, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestWriterDoubleFinish(t *testing.T) {
 }
 
 func TestWriterInvalidZoneStep(t *testing.T) {
-	if _, err := newFileWriter(filepath.Join(t.TempDir(), "f.idx"), 0, 0, 8); err == nil {
+	if _, err := newFileWriter(fsio.OS, filepath.Join(t.TempDir(), "f.idx"), 0, 0, 8); err == nil {
 		t.Fatal("zone step 0 should be rejected")
 	}
 }
@@ -76,7 +77,7 @@ func TestWriterInvalidZoneStep(t *testing.T) {
 func TestWriterZoneMapThreshold(t *testing.T) {
 	// Lists at exactly the cutoff get no zone map; one past it does.
 	dir := t.TempDir()
-	w, err := newFileWriter(filepath.Join(dir, funcFileName(0)), 0, 2, 3)
+	w, err := newFileWriter(fsio.OS, filepath.Join(dir, funcFileName(0)), 0, 2, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,10 +90,10 @@ func TestWriterZoneMapThreshold(t *testing.T) {
 	if _, err := w.finish(); err != nil {
 		t.Fatal(err)
 	}
-	if err := writeMeta(dir, Meta{K: 1, Seed: 0, T: 5}); err != nil {
+	if err := writeMeta(fsio.OS, dir, Meta{K: 1, Seed: 0, T: 5}); err != nil {
 		t.Fatal(err)
 	}
-	ff, err := openFuncFile(filepath.Join(dir, funcFileName(0)), 0)
+	ff, err := openFuncFile(fsio.OS, filepath.Join(dir, funcFileName(0)), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +114,7 @@ func TestWriterZoneMapThreshold(t *testing.T) {
 
 func TestWriterAbortRemovesFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "f.idx")
-	w, err := newFileWriter(path, 0, 4, 8)
+	w, err := newFileWriter(fsio.OS, path, 0, 4, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestWriterAbortRemovesFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	w.abort()
-	if _, err := openFuncFile(path, 0); err == nil {
+	if _, err := openFuncFile(fsio.OS, path, 0); err == nil {
 		t.Fatal("aborted file should not exist or open")
 	}
 }

@@ -66,6 +66,15 @@ func (c *resultCache) put(e *cacheEntry) {
 	}
 }
 
+// flush empties the cache. Called on backend reload: cached results
+// belong to the previous index and must not survive the swap.
+func (c *resultCache) flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.m = make(map[string]*list.Element)
+}
+
 func (c *resultCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()

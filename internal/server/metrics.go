@@ -50,6 +50,9 @@ type metrics struct {
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 
+	reloads        atomic.Int64 // successful backend swaps
+	reloadFailures atomic.Int64 // reloads that kept the old backend
+
 	// Aggregated per-query Stats/IOStats of executed (non-cached)
 	// searches. Exact because every query reports from its private sink.
 	matches   atomic.Int64
@@ -114,6 +117,10 @@ func (m *metrics) snapshot(cacheLen, cacheCap int, ix indexSnapshot) map[string]
 			"size":     cacheLen,
 			"capacity": cacheCap,
 		},
+		"reloads": map[string]int64{
+			"completed": m.reloads.Load(),
+			"failed":    m.reloadFailures.Load(),
+		},
 		"query": map[string]int64{
 			"matches":     m.matches.Load(),
 			"io_bytes":    m.ioBytes.Load(),
@@ -126,11 +133,12 @@ func (m *metrics) snapshot(cacheLen, cacheCap int, ix indexSnapshot) map[string]
 
 // indexSnapshot is the index-level slice of /metrics.
 type indexSnapshot struct {
-	K          int   `json:"k"`
-	T          int   `json:"t"`
-	NumTexts   int   `json:"num_texts"`
-	BytesRead  int64 `json:"bytes_read"`
-	ReadTimeNS int64 `json:"read_time_ns"`
+	BuildID    string `json:"build_id"`
+	K          int    `json:"k"`
+	T          int    `json:"t"`
+	NumTexts   int    `json:"num_texts"`
+	BytesRead  int64  `json:"bytes_read"`
+	ReadTimeNS int64  `json:"read_time_ns"`
 }
 
 func formatMS(ub float64) string {

@@ -7,15 +7,24 @@
 //	POST /search        near-duplicate search (search.Options over JSON)
 //	POST /search/topk   ranked top-k retrieval
 //	GET|POST /explain   the deferral plan a query would run with (no I/O)
-//	GET  /healthz       liveness; 503 once shutdown has begun
+//	GET  /healthz       liveness; 503 once shutdown has begun; reports
+//	                    the active index build id
 //	GET  /metrics       counters: requests, latency histogram, cache
 //	                    hit rate, aggregated per-query Stats/IOStats
+//	POST /admin/reload  zero-downtime hot swap to a freshly opened
+//	                    backend (requires Config.Reloader)
 //
 // The server bounds concurrent query work with an admission semaphore
 // (saturation → 429), applies a per-request deadline (the `timeout_ms`
 // request field, capped by Config.MaxTimeout) whose expiry cancels the
 // query at the pipeline's next checkpoint, and serves repeated queries
 // from an LRU cache keyed by (sketch, options).
+//
+// The backend is held behind a reference-counted handle so Reload can
+// swap in a rebuilt index with zero failed requests: new queries land
+// on the new backend immediately, in-flight queries drain on the old
+// one, and only then is the old backend closed and the result cache
+// flushed.
 package server
 
 import (
@@ -23,7 +32,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -33,7 +44,8 @@ import (
 )
 
 // Backend is the query surface the server needs. *core.Engine satisfies
-// it; tests substitute slow or failing implementations.
+// it; tests substitute slow or failing implementations. A Backend that
+// also implements io.Closer is closed when a reload replaces it.
 type Backend interface {
 	SearchContext(ctx context.Context, query []uint32, opts search.Options) ([]search.Match, *search.Stats, error)
 	SearchTopKContext(ctx context.Context, query []uint32, opts search.TopKOptions) ([]search.Match, *search.Stats, error)
@@ -41,6 +53,9 @@ type Backend interface {
 	Meta() index.Meta
 	Family() *hash.Family
 	IOStats() index.IOStats
+	// BuildID identifies the index build behind this backend, surfaced
+	// in /healthz and /metrics so operators can confirm a reload took.
+	BuildID() string
 }
 
 // Config tunes the service. Zero values select the defaults.
@@ -56,6 +71,9 @@ type Config struct {
 	// CacheEntries sizes the result LRU. Default 256; negative disables
 	// caching.
 	CacheEntries int
+	// Reloader opens a fresh backend for Reload / POST /admin/reload.
+	// Nil disables hot reload (the endpoint answers 501).
+	Reloader func() (Backend, error)
 }
 
 func (c *Config) setDefaults() {
@@ -78,7 +96,11 @@ func (c *Config) setDefaults() {
 // before http.Server.Shutdown so health checks fail first and new
 // queries are refused while in-flight ones drain.
 type Server struct {
-	backend Backend
+	mu     sync.RWMutex   // guards handle swaps
+	handle *backendHandle // current backend + its in-flight refcount
+
+	reloadMu sync.Mutex // serializes Reload calls
+
 	cfg     Config
 	sem     chan struct{}
 	cache   *resultCache // nil when disabled
@@ -87,15 +109,23 @@ type Server struct {
 	closing atomic.Bool
 }
 
+// backendHandle pairs a backend with the WaitGroup counting requests
+// executing against it, so a reload can drain the old backend before
+// closing it.
+type backendHandle struct {
+	b  Backend
+	wg sync.WaitGroup
+}
+
 // New builds a Server over an opened backend.
 func New(b Backend, cfg Config) *Server {
 	cfg.setDefaults()
 	s := &Server{
-		backend: b,
-		cfg:     cfg,
-		sem:     make(chan struct{}, cfg.MaxInFlight),
-		cache:   newResultCache(cfg.CacheEntries),
-		met:     metrics{start: time.Now()},
+		handle: &backendHandle{b: b},
+		cfg:    cfg,
+		sem:    make(chan struct{}, cfg.MaxInFlight),
+		cache:  newResultCache(cfg.CacheEntries),
+		met:    metrics{start: time.Now()},
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/search", s.handleSearch)
@@ -103,7 +133,99 @@ func New(b Backend, cfg Config) *Server {
 	s.mux.HandleFunc("/explain", s.handleExplain)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/admin/reload", s.handleReload)
 	return s
+}
+
+// acquire pins the current backend for one request. The returned
+// release must be called when the request is done with it; the RLock
+// makes the load-and-increment atomic against a concurrent swap.
+func (s *Server) acquire() (Backend, func()) {
+	s.mu.RLock()
+	h := s.handle
+	h.wg.Add(1)
+	s.mu.RUnlock()
+	return h.b, h.wg.Done
+}
+
+// backend returns the current backend for read-only snapshot use
+// (healthz/metrics); it does not pin against a swap.
+func (s *Server) backend() Backend {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.handle.b
+}
+
+// ErrNoReloader is returned by Reload when the server was configured
+// without a Reloader.
+var ErrNoReloader = errors.New("server: no reloader configured")
+
+// Reload hot-swaps the backend with zero downtime: it opens a fresh
+// backend via Config.Reloader, atomically redirects new queries to it,
+// waits for queries in flight on the old backend to drain, closes the
+// old backend (when it implements io.Closer) and flushes the result
+// cache, whose entries belong to the old index. If the reloader fails,
+// the old backend keeps serving untouched.
+//
+// Reloads are serialized; concurrent calls run one at a time.
+func (s *Server) Reload() (oldID, newID string, err error) {
+	if s.cfg.Reloader == nil {
+		return "", "", ErrNoReloader
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	nb, err := s.cfg.Reloader()
+	if err != nil {
+		s.met.reloadFailures.Add(1)
+		return "", "", fmt.Errorf("server: reload backend: %w", err)
+	}
+	next := &backendHandle{b: nb}
+	s.mu.Lock()
+	prev := s.handle
+	s.handle = next
+	s.mu.Unlock()
+	// Drain queries still executing against the old backend, then close
+	// it. The cache flush comes after the drain so results those last
+	// old-index queries insert are flushed too.
+	if s.cache != nil {
+		// Drop old-index results for new queries right away; a second
+		// flush after the drain catches entries the last old-backend
+		// queries still insert.
+		s.cache.flush()
+	}
+	prev.wg.Wait()
+	if s.cache != nil {
+		s.cache.flush()
+	}
+	if c, ok := prev.b.(io.Closer); ok {
+		c.Close()
+	}
+	s.met.reloads.Add(1)
+	return prev.b.BuildID(), nb.BuildID(), nil
+}
+
+// handleReload is POST /admin/reload.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.closing.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	oldID, newID, err := s.Reload()
+	switch {
+	case errors.Is(err, ErrNoReloader):
+		s.writeError(w, http.StatusNotImplemented, ErrNoReloader.Error())
+	case err != nil:
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{
+			"status": "reloaded", "old_build_id": oldID, "build_id": newID,
+		})
+	}
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -369,7 +491,11 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, req searchRe
 		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("theta must be in (0, 1], got %v", theta))
 		return
 	}
-	sketch, err := s.backend.Family().Sketch(req.Tokens)
+	// Pin the backend for the whole request: the sketch and the query
+	// must run against the same index even if a reload swaps mid-way.
+	backend, releaseBackend := s.acquire()
+	defer releaseBackend()
+	sketch, err := backend.Family().Sketch(req.Tokens)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -412,11 +538,11 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, req searchRe
 		st      *search.Stats
 	)
 	if topk {
-		matches, st, err = s.backend.SearchTopKContext(ctx, req.Tokens, search.TopKOptions{
+		matches, st, err = backend.SearchTopKContext(ctx, req.Tokens, search.TopKOptions{
 			N: req.N, FloorTheta: req.FloorTheta, Search: opts,
 		})
 	} else {
-		matches, st, err = s.backend.SearchContext(ctx, req.Tokens, opts)
+		matches, st, err = backend.SearchContext(ctx, req.Tokens, opts)
 	}
 	if err != nil {
 		// Validation errors surface as 400, not 500.
@@ -465,7 +591,9 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	s.met.requests.Add(1)
 	s.met.explains.Add(1)
-	plan, err := s.backend.Explain(req.Tokens, req.options())
+	backend, releaseBackend := s.acquire()
+	defer releaseBackend()
+	plan, err := backend.Explain(req.Tokens, req.options())
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -480,11 +608,14 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	buildID := s.backend().BuildID()
 	if s.closing.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "shutting_down"})
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "shutting_down", "build_id": buildID,
+		})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "build_id": buildID})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -492,10 +623,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.cache != nil {
 		cacheLen, cacheCap = s.cache.len(), s.cfg.CacheEntries
 	}
-	meta := s.backend.Meta()
-	io := s.backend.IOStats()
+	b := s.backend()
+	meta := b.Meta()
+	ios := b.IOStats()
 	writeJSON(w, http.StatusOK, s.met.snapshot(cacheLen, cacheCap, indexSnapshot{
-		K: meta.K, T: meta.T, NumTexts: meta.NumTexts,
-		BytesRead: io.BytesRead, ReadTimeNS: int64(io.ReadTime),
+		BuildID: b.BuildID(), K: meta.K, T: meta.T, NumTexts: meta.NumTexts,
+		BytesRead: ios.BytesRead, ReadTimeNS: int64(ios.ReadTime),
 	}))
 }

@@ -271,6 +271,7 @@ type searcherBackend struct {
 func (b searcherBackend) Meta() index.Meta       { return b.ix.Meta() }
 func (b searcherBackend) Family() *hash.Family   { return b.ix.Family() }
 func (b searcherBackend) IOStats() index.IOStats { return b.ix.IOStats() }
+func (b searcherBackend) BuildID() string        { return "test" }
 
 func slowFixture(t *testing.T, delay time.Duration) (Backend, []uint32) {
 	t.Helper()
