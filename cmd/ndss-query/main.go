@@ -44,10 +44,11 @@ func main() {
 	verify := flag.Bool("verify", false, "verify exact Jaccard of matches")
 	queriesPath := flag.String("queries", "", "file with one query per line (batch mode)")
 	parallel := flag.Int("parallel", 1, "batch-mode query workers")
+	verbose := flag.Bool("v", false, "print the per-stage latency split (sketch/plan/gather/count/merge/verify)")
 	flag.Parse()
 
 	err := run(*idxDir, *corpusPath, *theta, *tokens, *fromText, *at, *length,
-		*prefix, *verify, *queriesPath, *parallel)
+		*prefix, *verify, *queriesPath, *parallel, *verbose)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ndss-query:", err)
 		os.Exit(1)
@@ -55,7 +56,7 @@ func main() {
 }
 
 func run(idxDir, corpusPath string, theta float64, tokens string, fromText, at, length int,
-	prefix, verify bool, queriesPath string, parallel int) error {
+	prefix, verify bool, queriesPath string, parallel int, verbose bool) error {
 	// Reject inconsistent flag combinations before touching the index so
 	// misuse fails fast instead of after an expensive open.
 	if verify && corpusPath == "" {
@@ -82,7 +83,7 @@ func run(idxDir, corpusPath string, theta float64, tokens string, fromText, at, 
 
 	opts := search.Options{Theta: theta, PrefixFilter: prefix, Verify: verify}
 	if queriesPath != "" {
-		return runBatch(engine, queriesPath, opts, parallel)
+		return runBatch(engine, queriesPath, opts, parallel, verbose)
 	}
 
 	var query []uint32
@@ -116,6 +117,9 @@ func run(idxDir, corpusPath string, theta float64, tokens string, fromText, at, 
 		len(query), theta, stats.Beta, stats.K)
 	fmt.Printf("latency: total %v (io %v, cpu %v), %d bytes read\n",
 		stats.Total, stats.IOTime, stats.CPUTime, stats.IOBytes)
+	if verbose {
+		printStageSplit("stages", stats.StageTimes)
+	}
 	fmt.Printf("lists: %d short, %d long; %d candidate texts\n",
 		stats.ShortLists, stats.LongLists, stats.Candidates)
 	if len(matches) == 0 {
@@ -134,9 +138,18 @@ func run(idxDir, corpusPath string, theta float64, tokens string, fromText, at, 
 	return nil
 }
 
+// printStageSplit renders one line per pipeline stage, aligned, so the
+// dominant stage of a slow query is visible at a glance.
+func printStageSplit(label string, t search.StageTimes) {
+	fmt.Printf("%s:\n", label)
+	for i, d := range t.Durations() {
+		fmt.Printf("  %-7s %v\n", search.StageNames[i], d)
+	}
+}
+
 // runBatch runs the queries in path over a worker pool and prints each
 // query's result with its exact per-query I/O/CPU split.
-func runBatch(engine *core.Engine, path string, opts search.Options, parallel int) error {
+func runBatch(engine *core.Engine, path string, opts search.Options, parallel int, verbose bool) error {
 	queries, lines, err := readQueriesFile(path)
 	if err != nil {
 		return err
@@ -160,6 +173,11 @@ func runBatch(engine *core.Engine, path string, opts search.Options, parallel in
 	}
 	fmt.Printf("batch: %d queries, %d failed, %d workers, %d bytes read\n",
 		len(queries), failed, parallel, ioBytes)
+	if verbose {
+		if total, n := search.BatchStageTimes(results); n > 0 {
+			printStageSplit(fmt.Sprintf("stages (sum over %d queries)", n), total)
+		}
+	}
 	if failed > 0 {
 		return fmt.Errorf("%d of %d queries failed", failed, len(queries))
 	}

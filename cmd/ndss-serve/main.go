@@ -10,7 +10,10 @@
 //	GET  /explain?tokens=1,2,3&theta=0.8  -> the query plan, no I/O
 //	GET  /healthz      200 while serving, 503 once shutdown begins;
 //	                   reports the active index build id
-//	GET  /metrics      JSON counters: requests, latency, cache, I/O
+//	GET  /metrics      Prometheus text exposition; JSON counters for
+//	                   Accept: application/json
+//	GET  /debug/slowlog the slow-query flight recorder: stage-annotated
+//	                   traces of the slowest and most recent queries
 //	POST /admin/reload reopen the index directory and hot-swap to it
 //
 // Requests are bounded by an admission semaphore (-max-inflight; excess
@@ -18,6 +21,14 @@
 // field, default -timeout, capped at -max-timeout). SIGINT/SIGTERM
 // starts a graceful shutdown: new work is refused while in-flight
 // queries drain.
+//
+// Observability: every request gets an X-Request-ID (client-supplied
+// ones are honored) echoed on the response and stamped on the
+// structured access log (-log text|json). Queries slower than
+// -slow-query additionally log their per-stage breakdown. Profiling
+// endpoints (net/http/pprof) are off by default; -debug-addr serves
+// them on a separate listener so they are never exposed on the query
+// port.
 //
 // After rebuilding the index in place (ndss-index commits atomically,
 // so the running server never sees a partial build), POST /admin/reload
@@ -30,8 +41,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -43,21 +55,52 @@ import (
 	"ndss/internal/server"
 )
 
+type serveConfig struct {
+	idxDir      string
+	corpusPath  string
+	addr        string
+	maxInFlight int
+	timeout     time.Duration
+	maxTimeout  time.Duration
+	cache       int
+	drain       time.Duration
+
+	slowQuery time.Duration
+	slowlog   int
+	debugAddr string
+	logFormat string
+}
+
 func main() {
-	idxDir := flag.String("index", "idx", "index directory")
-	corpusPath := flag.String("corpus", "", "corpus file (enables \"verify\":true requests)")
-	addr := flag.String("addr", ":8080", "listen address")
-	maxInFlight := flag.Int("max-inflight", 64, "concurrent query limit before 429")
-	timeout := flag.Duration("timeout", 10*time.Second, "default per-request query deadline")
-	maxTimeout := flag.Duration("max-timeout", 60*time.Second, "cap on client-requested timeout_ms")
-	cacheEntries := flag.Int("cache", 256, "result cache entries (0 disables)")
-	drain := flag.Duration("drain", 30*time.Second, "shutdown drain allowance for in-flight requests")
+	var c serveConfig
+	flag.StringVar(&c.idxDir, "index", "idx", "index directory")
+	flag.StringVar(&c.corpusPath, "corpus", "", "corpus file (enables \"verify\":true requests)")
+	flag.StringVar(&c.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&c.maxInFlight, "max-inflight", 64, "concurrent query limit before 429")
+	flag.DurationVar(&c.timeout, "timeout", 10*time.Second, "default per-request query deadline")
+	flag.DurationVar(&c.maxTimeout, "max-timeout", 60*time.Second, "cap on client-requested timeout_ms")
+	flag.IntVar(&c.cache, "cache", 256, "result cache entries (0 disables)")
+	flag.DurationVar(&c.drain, "drain", 30*time.Second, "shutdown drain allowance for in-flight requests")
+	flag.DurationVar(&c.slowQuery, "slow-query", 500*time.Millisecond, "log queries at least this slow with their stage breakdown (0 disables)")
+	flag.IntVar(&c.slowlog, "slowlog", 32, "flight recorder entries per view at /debug/slowlog (0 disables)")
+	flag.StringVar(&c.debugAddr, "debug-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
+	flag.StringVar(&c.logFormat, "log", "text", "log format: text or json")
 	flag.Parse()
 
-	if err := run(*idxDir, *corpusPath, *addr, *maxInFlight, *timeout, *maxTimeout, *cacheEntries, *drain); err != nil {
+	if err := run(c); err != nil {
 		fmt.Fprintln(os.Stderr, "ndss-serve:", err)
 		os.Exit(1)
 	}
+}
+
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	}
+	return nil, fmt.Errorf("unknown -log format %q (want text or json)", format)
 }
 
 // servedBackend is an opened engine plus the corpus reader backing its
@@ -103,37 +146,73 @@ func openBackend(idxDir, corpusPath string) (*servedBackend, error) {
 	return &servedBackend{Engine: engine, src: r}, nil
 }
 
-func run(idxDir, corpusPath, addr string, maxInFlight int, timeout, maxTimeout time.Duration, cacheEntries int, drain time.Duration) error {
-	backend, err := openBackend(idxDir, corpusPath)
+// debugServer serves pprof on its own listener, keeping profiling off
+// the query port entirely.
+func debugServer(addr string, logger *slog.Logger) *http.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	hs := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		logger.Info("pprof listening", "addr", addr)
+		if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			logger.Error("pprof server failed", "error", err)
+		}
+	}()
+	return hs
+}
+
+func run(c serveConfig) error {
+	logger, err := newLogger(c.logFormat)
+	if err != nil {
+		return err
+	}
+	backend, err := openBackend(c.idxDir, c.corpusPath)
 	if err != nil {
 		return err
 	}
 	defer backend.Close()
 
-	cache := cacheEntries
+	cache := c.cache
 	if cache == 0 {
 		cache = -1 // Config treats <0 as "disabled", 0 as "default"
 	}
+	slowlog := c.slowlog
+	if slowlog == 0 {
+		slowlog = -1
+	}
 	srv := server.New(backend, server.Config{
-		MaxInFlight:    maxInFlight,
-		DefaultTimeout: timeout,
-		MaxTimeout:     maxTimeout,
-		CacheEntries:   cache,
+		MaxInFlight:        c.maxInFlight,
+		DefaultTimeout:     c.timeout,
+		MaxTimeout:         c.maxTimeout,
+		CacheEntries:       cache,
+		Logger:             logger,
+		SlowQueryThreshold: c.slowQuery,
+		SlowlogEntries:     slowlog,
 		Reloader: func() (server.Backend, error) {
-			return openBackend(idxDir, corpusPath)
+			return openBackend(c.idxDir, c.corpusPath)
 		},
 	})
 	hs := &http.Server{
-		Addr:              addr,
+		Addr:              c.addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	var dbg *http.Server
+	if c.debugAddr != "" {
+		dbg = debugServer(c.debugAddr, logger)
 	}
 
 	errc := make(chan error, 1)
 	go func() {
 		meta := backend.Meta()
-		log.Printf("serving index %s build %s (k=%d t=%d texts=%d) on %s",
-			idxDir, backend.BuildID(), meta.K, meta.T, meta.NumTexts, addr)
+		logger.Info("serving",
+			"index", c.idxDir, "build_id", backend.BuildID(),
+			"k", meta.K, "t", meta.T, "texts", meta.NumTexts, "addr", c.addr)
 		if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			errc <- err
 		}
@@ -149,23 +228,26 @@ func run(idxDir, corpusPath, addr string, maxInFlight int, timeout, maxTimeout t
 			if s == syscall.SIGHUP {
 				oldID, newID, err := srv.Reload()
 				if err != nil {
-					log.Printf("reload failed, still serving previous index: %v", err)
+					logger.Error("reload failed, still serving previous index", "error", err)
 				} else {
-					log.Printf("reloaded index %s: build %s -> %s", idxDir, oldID, newID)
+					logger.Info("reloaded index", "index", c.idxDir, "old_build_id", oldID, "build_id", newID)
 				}
 				continue
 			}
-			log.Printf("received %v, draining in-flight requests", s)
+			logger.Info("draining in-flight requests", "signal", s.String())
 		}
 		break
 	}
 
 	srv.BeginShutdown()
-	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	ctx, cancel := context.WithTimeout(context.Background(), c.drain)
 	defer cancel()
 	if err := hs.Shutdown(ctx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
-	log.Printf("drained, exiting")
+	if dbg != nil {
+		dbg.Shutdown(ctx)
+	}
+	logger.Info("drained, exiting")
 	return nil
 }

@@ -1,0 +1,192 @@
+package experiments
+
+// Machine-readable benchmark reporting: RunBenchSuite drives the query
+// benchmark (the testing.B counterpart of BenchmarkFig3_QueryVsTheta)
+// programmatically via testing.Benchmark and emits a BENCH.json report
+// with ns/op, B/op, per-stage latency splits, the git revision, and a
+// timestamp — the artifact the CI bench-smoke job uploads so query-path
+// performance is tracked per commit. The suite includes a traced
+// variant of the theta=0.8 point so the overhead of span collection on
+// the default path is itself a recorded series.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"ndss/internal/corpus"
+	"ndss/internal/index"
+	"ndss/internal/search"
+)
+
+// BenchStageSplit is the per-stage share of query time in a report,
+// averaged over the sampled workload (nanoseconds per query).
+type BenchStageSplit struct {
+	SketchNS int64 `json:"sketch_ns"`
+	PlanNS   int64 `json:"plan_ns"`
+	GatherNS int64 `json:"gather_ns"`
+	CountNS  int64 `json:"count_ns"`
+	MergeNS  int64 `json:"merge_ns"`
+	VerifyNS int64 `json:"verify_ns"`
+}
+
+// BenchResult is one benchmark series point.
+type BenchResult struct {
+	Name         string           `json:"name"`
+	N            int              `json:"n"`
+	NsPerOp      float64          `json:"ns_per_op"`
+	BytesPerOp   int64            `json:"bytes_per_op"`
+	AllocsPerOp  int64            `json:"allocs_per_op"`
+	MatchesPerOp float64          `json:"matches_per_op"`
+	Stages       *BenchStageSplit `json:"stages,omitempty"`
+}
+
+// BenchReport is the BENCH.json schema.
+type BenchReport struct {
+	GitSHA    string        `json:"git_sha"`
+	Timestamp string        `json:"timestamp"` // RFC3339
+	GoVersion string        `json:"go_version"`
+	Scale     int           `json:"scale"`
+	Results   []BenchResult `json:"results"`
+}
+
+// GitSHA resolves the commit the report describes: the working tree's
+// HEAD, the GITHUB_SHA CI variable, or "unknown".
+func GitSHA() string {
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		if sha := strings.TrimSpace(string(out)); sha != "" {
+			return sha
+		}
+	}
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		return sha
+	}
+	return "unknown"
+}
+
+// benchPoint is one (name, options) cell of the suite.
+type benchPoint struct {
+	name string
+	opts search.Options
+}
+
+// RunBenchSuite builds the benchmark fixture (the same corpus/index
+// shape as BenchmarkFig3_QueryVsTheta) and measures the query path
+// across thresholds, plus a traced theta=0.8 variant that exposes the
+// cost of detailed span collection.
+func (e *Env) RunBenchSuite() (*BenchReport, error) {
+	c := corpus.MustSynthesize(corpus.SynthConfig{
+		NumTexts: 300 * e.Scale, MinLength: 100, MaxLength: 700,
+		VocabSize: 32000, ZipfS: 1.07, Seed: 1,
+		DupRate: 0.15, DupSnippetLen: 64, DupMutateProb: 0.05,
+	})
+	ix, _, err := e.buildIndex("benchjson", c, index.BuildOptions{K: 32, Seed: 3, T: 25})
+	if err != nil {
+		return nil, err
+	}
+	s := search.New(ix, c)
+	queries := queryWorkload(c, 32, 64, 32000, 0.1, 5)
+
+	points := []benchPoint{
+		{"query/theta=0.7", search.Options{Theta: 0.7, PrefixFilter: true}},
+		{"query/theta=0.8", search.Options{Theta: 0.8, PrefixFilter: true}},
+		{"query/theta=0.9", search.Options{Theta: 0.9, PrefixFilter: true}},
+		{"query/theta=1.0", search.Options{Theta: 1.0, PrefixFilter: true}},
+		{"query/theta=0.8,traced", search.Options{Theta: 0.8, PrefixFilter: true, Trace: true}},
+	}
+
+	report := &BenchReport{
+		GitSHA:    GitSHA(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Scale:     e.Scale,
+	}
+	for _, pt := range points {
+		opts := pt.opts
+		var matches int64
+		var ops int64
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			matches, ops = 0, 0
+			for i := 0; i < b.N; i++ {
+				ms, _, err := s.Search(queries[i%len(queries)], opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				matches += int64(len(ms))
+				ops++
+			}
+		})
+		res := BenchResult{
+			Name:        pt.name,
+			N:           br.N,
+			NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+			AllocsPerOp: br.AllocsPerOp(),
+		}
+		if ops > 0 {
+			res.MatchesPerOp = float64(matches) / float64(ops)
+		}
+		// The stage split comes from a sample pass over the workload
+		// (separate from the timed loop, so it never perturbs ns/op).
+		var agg search.StageTimes
+		for _, q := range queries {
+			_, st, err := s.Search(q, opts)
+			if err != nil {
+				return nil, err
+			}
+			agg = agg.Add(st.StageTimes)
+		}
+		n := int64(len(queries))
+		res.Stages = &BenchStageSplit{
+			SketchNS: int64(agg.Sketch) / n, PlanNS: int64(agg.Plan) / n,
+			GatherNS: int64(agg.Gather) / n, CountNS: int64(agg.Count) / n,
+			MergeNS: int64(agg.Merge) / n, VerifyNS: int64(agg.Verify) / n,
+		}
+		report.Results = append(report.Results, res)
+		e.printf("%-24s %10.0f ns/op %8d B/op %6d allocs/op\n",
+			pt.name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+	return report, nil
+}
+
+// WriteBenchReport writes the report as indented JSON.
+func WriteBenchReport(path string, r *BenchReport) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ValidateBenchReport checks that data conforms to the BENCH.json
+// schema: the CI smoke job runs it against the artifact it uploads.
+func ValidateBenchReport(data []byte) error {
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return fmt.Errorf("bench report: %w", err)
+	}
+	if r.GitSHA == "" {
+		return fmt.Errorf("bench report: missing git_sha")
+	}
+	if _, err := time.Parse(time.RFC3339, r.Timestamp); err != nil {
+		return fmt.Errorf("bench report: bad timestamp %q: %w", r.Timestamp, err)
+	}
+	if len(r.Results) == 0 {
+		return fmt.Errorf("bench report: no results")
+	}
+	for i, res := range r.Results {
+		if res.Name == "" {
+			return fmt.Errorf("bench report: result %d has no name", i)
+		}
+		if res.N <= 0 || res.NsPerOp <= 0 {
+			return fmt.Errorf("bench report: result %q has non-positive n/ns_per_op", res.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func validReport() *BenchReport {
+	return &BenchReport{
+		GitSHA:    "deadbeef",
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: "go1.22",
+		Scale:     1,
+		Results: []BenchResult{{
+			Name: "query/theta=0.8", N: 100, NsPerOp: 12345.6, BytesPerOp: 64, AllocsPerOp: 2,
+			Stages: &BenchStageSplit{SketchNS: 1000, GatherNS: 5000},
+		}},
+	}
+}
+
+// TestBenchReportRoundTrip: a written report validates, so the CI smoke
+// job's write-then-check sequence is self-consistent.
+func TestBenchReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := WriteBenchReport(path, validReport()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateBenchReport(data); err != nil {
+		t.Fatalf("round-tripped report invalid: %v", err)
+	}
+}
+
+func TestBenchReportValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*BenchReport)
+	}{
+		{"missing_sha", func(r *BenchReport) { r.GitSHA = "" }},
+		{"bad_timestamp", func(r *BenchReport) { r.Timestamp = "yesterday" }},
+		{"no_results", func(r *BenchReport) { r.Results = nil }},
+		{"unnamed_result", func(r *BenchReport) { r.Results[0].Name = "" }},
+		{"zero_ns", func(r *BenchReport) { r.Results[0].NsPerOp = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := validReport()
+			tc.mutate(r)
+			path := filepath.Join(t.TempDir(), "BENCH.json")
+			if err := WriteBenchReport(path, r); err != nil {
+				t.Fatal(err)
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ValidateBenchReport(data); err == nil {
+				t.Errorf("%s: report validated, want error", tc.name)
+			}
+		})
+	}
+	if err := ValidateBenchReport([]byte("not json")); err == nil {
+		t.Error("malformed JSON validated")
+	}
+}

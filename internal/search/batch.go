@@ -12,6 +12,21 @@ type BatchResult struct {
 	Err     error
 }
 
+// BatchStageTimes sums the per-stage decomposition over a batch's
+// successful queries, so batch consumers (ndss-query, ndss-bench) can
+// report where the aggregate wall time went. Failed queries contribute
+// nothing; n reports how many queries were summed.
+func BatchStageTimes(results []BatchResult) (total StageTimes, n int) {
+	for i := range results {
+		if results[i].Err != nil || results[i].Stats == nil {
+			continue
+		}
+		total = total.Add(results[i].Stats.StageTimes)
+		n++
+	}
+	return total, n
+}
+
 // SearchBatch runs many queries concurrently over a worker pool and
 // returns results in query order. The index is safe for concurrent
 // readers; parallelism <= 1 degenerates to a sequential loop.

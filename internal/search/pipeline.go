@@ -20,6 +20,7 @@ import (
 
 	"ndss/internal/hash"
 	"ndss/internal/index"
+	"ndss/internal/obs"
 )
 
 // Plan is one query's deferral plan, the output of the plan stage: for
@@ -59,8 +60,9 @@ type queryCtx struct {
 	free     [][]taggedWindow          // recycled group slices
 	qual     []spanRect                // scratch for span merging
 
-	io index.IOStats // private per-query I/O sink
-	st *Stats
+	io    index.IOStats // private per-query I/O sink
+	st    *Stats
+	trace obs.Trace // per-query span recorder (pooled with the context)
 }
 
 // spanRect pairs a qualifying rectangle with its merged span.
@@ -80,6 +82,7 @@ func (s *Searcher) acquireCtx(ctx context.Context, opts Options, minLen, beta in
 	qc.plan.Beta = beta
 	qc.st = st
 	qc.io = index.IOStats{}
+	qc.trace.Reset()
 	return qc
 }
 
@@ -270,7 +273,17 @@ func (s *Searcher) countText(qc *queryCtx, textID uint32, group []taggedWindow) 
 			if err := qc.checkCancel(); err != nil {
 				return nil, err
 			}
+			// Per-probe spans are detailed-trace only: a hot query can
+			// probe hundreds of (candidate, list) pairs, and the default
+			// path must not pay two clock reads for each.
+			probe := obs.None
+			if qc.opts.Trace {
+				probe = qc.trace.Start("probe")
+				qc.trace.Annotate(probe, "fn", int64(fn))
+				qc.trace.Annotate(probe, "text", int64(textID))
+			}
 			ws, err := s.ix.ReadListForTextInto(qc.windows, fn, qc.sketch[fn], textID, &qc.io)
+			qc.trace.End(probe)
 			if err != nil {
 				return nil, err
 			}
@@ -278,7 +291,10 @@ func (s *Searcher) countText(qc *queryCtx, textID uint32, group []taggedWindow) 
 		}
 		rects = CollisionCount(qc.windows, qc.plan.Beta)
 	}
-	return s.mergeText(qc, textID, rects), nil
+	sp := qc.trace.Start(StageNames[4]) // merge
+	ms := s.mergeText(qc, textID, rects)
+	qc.st.StageTimes.Merge += qc.trace.End(sp)
+	return ms, nil
 }
 
 // mergeText filters rectangles to those holding a qualifying sequence

@@ -9,6 +9,7 @@ import (
 
 	"ndss/internal/hash"
 	"ndss/internal/index"
+	"ndss/internal/obs"
 )
 
 // TextSource resolves a text id to its token sequence. *corpus.Corpus
@@ -73,6 +74,12 @@ type Options struct {
 	// KeepRects retains the raw collision rectangles on each match for
 	// callers that need exact sequence enumeration.
 	KeepRects bool
+	// Trace attaches the query's full span list (stage spans plus one
+	// span per deferred-list probe) to Stats.Spans. The per-stage
+	// StageTimes decomposition is always recorded regardless; Trace only
+	// controls whether the detailed spans are copied out, which costs
+	// one allocation per query.
+	Trace bool
 }
 
 // validate checks the options against the index metadata before any
@@ -122,6 +129,46 @@ type Match struct {
 	Rects []Rect
 }
 
+// NumStages is the number of pipeline stages in StageNames/StageTimes.
+const NumStages = 6
+
+// StageNames lists the pipeline stages in execution order. Indexes
+// align with StageTimes.Durations, so consumers (histograms, traces,
+// CLIs) can iterate the decomposition without knowing the stage set.
+var StageNames = [NumStages]string{"sketch", "plan", "gather", "count", "merge", "verify"}
+
+// StageTimes is the per-stage wall-time decomposition of one query
+// through the pipeline. Count excludes the merge time spent inside
+// countText (reported separately as Merge), so the six stages sum to
+// approximately Stats.Total minus orchestration overhead. The _ns JSON
+// names are the stable wire format served by /search.
+type StageTimes struct {
+	Sketch time.Duration `json:"sketch_ns"`
+	Plan   time.Duration `json:"plan_ns"`
+	Gather time.Duration `json:"gather_ns"`
+	Count  time.Duration `json:"count_ns"`
+	Merge  time.Duration `json:"merge_ns"`
+	Verify time.Duration `json:"verify_ns"`
+}
+
+// Durations returns the stage durations in StageNames order.
+func (t StageTimes) Durations() [NumStages]time.Duration {
+	return [NumStages]time.Duration{t.Sketch, t.Plan, t.Gather, t.Count, t.Merge, t.Verify}
+}
+
+// Add returns the element-wise sum of two decompositions, for
+// aggregating stage splits over a batch.
+func (t StageTimes) Add(o StageTimes) StageTimes {
+	return StageTimes{
+		Sketch: t.Sketch + o.Sketch,
+		Plan:   t.Plan + o.Plan,
+		Gather: t.Gather + o.Gather,
+		Count:  t.Count + o.Count,
+		Merge:  t.Merge + o.Merge,
+		Verify: t.Verify + o.Verify,
+	}
+}
+
 // Stats describes one query's execution for the latency-split
 // experiments (Fig 3). IOBytes/IOTime come from the query's private
 // I/O sink, so they are exact for this query even when many queries
@@ -139,6 +186,14 @@ type Stats struct {
 	IOTime     time.Duration // time this query spent in index reads
 	CPUTime    time.Duration // Total minus IOTime
 	Total      time.Duration
+
+	// StageTimes decomposes Total across the pipeline stages. Always
+	// recorded; the per-stage timing costs a handful of monotonic clock
+	// reads per query.
+	StageTimes StageTimes
+	// Spans is the query's full trace (stage spans plus per-probe
+	// spans), copied out only when Options.Trace is set.
+	Spans []obs.Span
 }
 
 // Searcher answers near-duplicate sequence searches against an opened
@@ -274,30 +329,49 @@ func (s *Searcher) SearchContext(ctx context.Context, query []uint32, opts Optio
 	qc := s.acquireCtx(ctx, opts, minLen, beta, st)
 	defer s.releaseCtx(qc)
 
-	if err := s.stageSketch(qc, query); err != nil {
-		return nil, nil, err
-	}
-	s.stagePlan(qc)
-	if err := qc.checkCancel(); err != nil {
-		return nil, nil, err
-	}
-	if err := s.stageGather(qc); err != nil {
-		return nil, nil, err
-	}
-	matches, err := s.stageCount(qc)
+	sp := qc.trace.Start(StageNames[0]) // sketch
+	err = s.stageSketch(qc, query)
+	st.StageTimes.Sketch = qc.trace.End(sp)
 	if err != nil {
 		return nil, nil, err
 	}
+	sp = qc.trace.Start(StageNames[1]) // plan
+	s.stagePlan(qc)
+	st.StageTimes.Plan = qc.trace.End(sp)
+	if err := qc.checkCancel(); err != nil {
+		return nil, nil, err
+	}
+	sp = qc.trace.Start(StageNames[2]) // gather
+	err = s.stageGather(qc)
+	st.StageTimes.Gather = qc.trace.End(sp)
+	qc.trace.Annotate(sp, "io_bytes", qc.io.BytesRead)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The count span covers the per-text collision counting including
+	// deferred-list probes; merge time accumulated inside countText is
+	// carved out so Count and Merge are disjoint.
+	sp = qc.trace.Start(StageNames[3]) // count
+	matches, err := s.stageCount(qc)
+	st.StageTimes.Count = qc.trace.End(sp) - st.StageTimes.Merge
+	if err != nil {
+		return nil, nil, err
+	}
+	sp = qc.trace.Start(StageNames[5]) // verify
 	if opts.Verify {
 		if err := s.stageVerify(qc, query, matches); err != nil {
 			return nil, nil, err
 		}
 	}
+	st.StageTimes.Verify = qc.trace.End(sp)
 	st.Matches = len(matches)
 	st.IOBytes = qc.io.BytesRead
 	st.IOTime = qc.io.ReadTime
 	st.Total = time.Since(start)
 	st.CPUTime = st.Total - st.IOTime
+	if opts.Trace {
+		st.Spans = qc.trace.Snapshot(nil)
+	}
 	return matches, st, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 )
 
 // TopKOptions configures SearchTopK.
@@ -47,6 +48,10 @@ func (s *Searcher) SearchTopKContext(ctx context.Context, query []uint32, opts T
 	if err != nil {
 		return nil, nil, err
 	}
+	// The ranking sort below runs after SearchContext closed its timing,
+	// so charge it explicitly: Total/CPUTime stay the query's true cost
+	// and the merge stage absorbs the rank time in the decomposition.
+	rankStart := time.Now()
 	sort.Slice(matches, func(i, j int) bool {
 		if matches[i].Collisions != matches[j].Collisions {
 			return matches[i].Collisions > matches[j].Collisions
@@ -59,6 +64,10 @@ func (s *Searcher) SearchTopKContext(ctx context.Context, query []uint32, opts T
 	if len(matches) > opts.N {
 		matches = matches[:opts.N]
 	}
+	rank := time.Since(rankStart)
+	st.Total += rank
+	st.CPUTime += rank
+	st.StageTimes.Merge += rank
 	st.Matches = len(matches)
 	return matches, st, nil
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"runtime"
 	"strconv"
 	"sync/atomic"
 	"time"
@@ -8,13 +9,70 @@ import (
 	"ndss/internal/search"
 )
 
+// endpoint enumerates the query endpoints whose latency is observed.
+type endpoint int
+
+const (
+	epSearch endpoint = iota
+	epTopK
+	epExplain
+	numEndpoints
+)
+
+func (e endpoint) String() string {
+	switch e {
+	case epSearch:
+		return "search"
+	case epTopK:
+		return "topk"
+	case epExplain:
+		return "explain"
+	}
+	return "unknown"
+}
+
+// outcome enumerates how an admitted request ended. Every admitted
+// request records exactly one latency observation tagged with its
+// endpoint and outcome (the satellite invariant TestLatencyAccounting
+// pins down).
+type outcome int
+
+const (
+	outOK outcome = iota
+	outCached
+	outBadRequest // post-admission validation failure (400)
+	outTimeout    // deadline exceeded mid-query (504)
+	outCanceled   // client went away mid-query (499)
+	outInternal   // unexpected failure (500)
+	numOutcomes
+)
+
+func (o outcome) String() string {
+	switch o {
+	case outOK:
+		return "ok"
+	case outCached:
+		return "cached"
+	case outBadRequest:
+		return "bad_request"
+	case outTimeout:
+		return "timeout"
+	case outCanceled:
+		return "canceled"
+	case outInternal:
+		return "internal"
+	}
+	return "unknown"
+}
+
 // latencyBucketsMS are the upper bounds (milliseconds) of the request
-// latency histogram; the implicit last bucket is +Inf.
+// latency histograms; the implicit last bucket is +Inf. A value exactly
+// equal to an upper bound lands in that bound's bucket (Prometheus `le`
+// semantics).
 var latencyBucketsMS = [...]float64{0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000}
 
 type histogram struct {
 	counts [len(latencyBucketsMS) + 1]atomic.Int64
-	count  atomic.Int64
 	sumNS  atomic.Int64
 }
 
@@ -25,11 +83,23 @@ func (h *histogram) observe(d time.Duration) {
 		i++
 	}
 	h.counts[i].Add(1)
-	h.count.Add(1)
 	h.sumNS.Add(int64(d))
 }
 
-// metrics is the server's counter surface, exposed as JSON by /metrics.
+// load reads the histogram's per-bucket counts and derives the total
+// from their sum, so count always equals the buckets even while other
+// goroutines observe concurrently (the count is simply the state of the
+// buckets at their individual load instants).
+func (h *histogram) load() (buckets [len(latencyBucketsMS) + 1]int64, count, sumNS int64) {
+	for i := range h.counts {
+		buckets[i] = h.counts[i].Load()
+		count += buckets[i]
+	}
+	return buckets, count, h.sumNS.Load()
+}
+
+// metrics is the server's counter surface, exposed by /metrics as
+// Prometheus text exposition (default) or JSON (content negotiation).
 // Everything is atomic; there is no lock on the request path.
 type metrics struct {
 	start time.Time
@@ -60,7 +130,19 @@ type metrics struct {
 	ioTimeNS  atomic.Int64
 	cpuTimeNS atomic.Int64
 
-	latency histogram
+	// latency holds one histogram per (endpoint, outcome) cell: every
+	// admitted request lands in exactly one.
+	latency [numEndpoints][numOutcomes]histogram
+
+	// stages holds one histogram per pipeline stage, observed from each
+	// executed query's StageTimes (cache hits and errors excluded: only
+	// queries that ran the pipeline have a decomposition).
+	stages [search.NumStages]histogram
+}
+
+// observe records the single per-request latency observation.
+func (m *metrics) observe(ep endpoint, out outcome, d time.Duration) {
+	m.latency[ep][out].observe(d)
 }
 
 func (m *metrics) recordStats(st *search.Stats) {
@@ -71,25 +153,89 @@ func (m *metrics) recordStats(st *search.Stats) {
 	m.ioBytes.Add(st.IOBytes)
 	m.ioTimeNS.Add(int64(st.IOTime))
 	m.cpuTimeNS.Add(int64(st.CPUTime))
+	for i, d := range st.StageTimes.Durations() {
+		m.stages[i].observe(d)
+	}
 }
 
-// snapshot renders the counters into the JSON shape /metrics serves.
+// aggregateLatency folds every (endpoint, outcome) histogram into one,
+// preserving the pre-observability JSON schema where "latency" was a
+// single request histogram.
+func (m *metrics) aggregateLatency() (buckets [len(latencyBucketsMS) + 1]int64, count, sumNS int64) {
+	for e := 0; e < int(numEndpoints); e++ {
+		for o := 0; o < int(numOutcomes); o++ {
+			b, c, s := m.latency[e][o].load()
+			for i := range buckets {
+				buckets[i] += b[i]
+			}
+			count += c
+			sumNS += s
+		}
+	}
+	return buckets, count, sumNS
+}
+
+// runtimeSnapshot samples the Go runtime gauges exposed on /metrics.
+type runtimeSnapshot struct {
+	Goroutines     int    `json:"goroutines"`
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	HeapSysBytes   uint64 `json:"heap_sys_bytes"`
+	HeapObjects    uint64 `json:"heap_objects"`
+	GCPauseTotalNS uint64 `json:"gc_pause_total_ns"`
+	NumGC          uint32 `json:"num_gc"`
+}
+
+func sampleRuntime() runtimeSnapshot {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return runtimeSnapshot{
+		Goroutines:     runtime.NumGoroutine(),
+		HeapAllocBytes: ms.HeapAlloc,
+		HeapSysBytes:   ms.HeapSys,
+		HeapObjects:    ms.HeapObjects,
+		GCPauseTotalNS: ms.PauseTotalNs,
+		NumGC:          ms.NumGC,
+	}
+}
+
+// snapshot renders the counters into the JSON shape /metrics serves for
+// Accept: application/json. The pre-observability keys are preserved
+// verbatim; "endpoints", "stages" and "runtime" are additive.
 func (m *metrics) snapshot(cacheLen, cacheCap int, ix indexSnapshot) map[string]any {
 	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
 	hitRate := 0.0
 	if hits+misses > 0 {
 		hitRate = float64(hits) / float64(hits+misses)
 	}
+	aggBuckets, count, sumNS := m.aggregateLatency()
 	buckets := make(map[string]int64, len(latencyBucketsMS)+1)
 	for i, ub := range latencyBucketsMS {
-		buckets[formatMS(ub)] = m.latency.counts[i].Load()
+		buckets[formatMS(ub)] = aggBuckets[i]
 	}
-	buckets["+Inf"] = m.latency.counts[len(latencyBucketsMS)].Load()
-	count := m.latency.count.Load()
+	buckets["+Inf"] = aggBuckets[len(latencyBucketsMS)]
 	meanMS := 0.0
 	if count > 0 {
-		meanMS = float64(m.latency.sumNS.Load()) / float64(count) / float64(time.Millisecond)
+		meanMS = float64(sumNS) / float64(count) / float64(time.Millisecond)
 	}
+
+	endpoints := make(map[string]any, numEndpoints)
+	for e := endpoint(0); e < numEndpoints; e++ {
+		outs := make(map[string]any, numOutcomes)
+		for o := outcome(0); o < numOutcomes; o++ {
+			_, c, s := m.latency[e][o].load()
+			if c == 0 {
+				continue
+			}
+			outs[o.String()] = map[string]int64{"count": c, "sum_ns": s}
+		}
+		endpoints[e.String()] = outs
+	}
+	stages := make(map[string]any, search.NumStages)
+	for i, name := range search.StageNames {
+		_, c, s := m.stages[i].load()
+		stages[name] = map[string]int64{"count": c, "sum_ns": s}
+	}
+
 	return map[string]any{
 		"uptime_seconds": time.Since(m.start).Seconds(),
 		"in_flight":      m.inFlight.Load(),
@@ -110,6 +256,8 @@ func (m *metrics) snapshot(cacheLen, cacheCap int, ix indexSnapshot) map[string]
 			"mean_ms":    meanMS,
 			"buckets_ms": buckets,
 		},
+		"endpoints": endpoints,
+		"stages":    stages,
 		"cache": map[string]any{
 			"hits":     hits,
 			"misses":   misses,
@@ -127,7 +275,8 @@ func (m *metrics) snapshot(cacheLen, cacheCap int, ix indexSnapshot) map[string]
 			"io_time_ns":  m.ioTimeNS.Load(),
 			"cpu_time_ns": m.cpuTimeNS.Load(),
 		},
-		"index": ix,
+		"index":   ix,
+		"runtime": sampleRuntime(),
 	}
 }
 

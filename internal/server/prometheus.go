@@ -1,0 +1,171 @@
+package server
+
+// Prometheus text exposition (version 0.0.4) for /metrics. Written by
+// hand against the format spec — the repo is dependency-free — and
+// validated in tests by a line-format checker. Histograms convert the
+// internal per-bucket counts to the cumulative `le` form Prometheus
+// requires; durations are exposed in seconds per convention.
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"ndss/internal/search"
+)
+
+// promContentType is the exposition content type scrapers expect.
+const promContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promWriter accumulates exposition lines with #-comment headers.
+type promWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *promWriter) header(name, help, typ string) {
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (p *promWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// sample writes one sample line; labels is a preformatted `k="v",...`
+// string or empty.
+func (p *promWriter) sample(name, labels string, value float64) {
+	if labels != "" {
+		p.printf("%s{%s} %s\n", name, labels, formatPromValue(value))
+	} else {
+		p.printf("%s %s\n", name, formatPromValue(value))
+	}
+}
+
+// histogramSamples writes the cumulative bucket series plus _sum and
+// _count for one histogram. extraLabels tags every line (may be empty).
+func (p *promWriter) histogramSamples(name, extraLabels string, buckets [len(latencyBucketsMS) + 1]int64, count, sumNS int64) {
+	cum := int64(0)
+	for i, ub := range latencyBucketsMS {
+		cum += buckets[i]
+		p.sample(name+"_bucket", joinLabels(extraLabels, `le="`+formatPromValue(ub/1000)+`"`), float64(cum))
+	}
+	cum += buckets[len(latencyBucketsMS)]
+	p.sample(name+"_bucket", joinLabels(extraLabels, `le="+Inf"`), float64(cum))
+	p.sample(name+"_sum", extraLabels, float64(sumNS)/float64(time.Second))
+	p.sample(name+"_count", extraLabels, float64(count))
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func formatPromValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabelValue escapes a label value per the exposition format.
+func escapeLabelValue(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// writePrometheus renders the full metric catalog (see README's
+// observability section) in exposition format.
+func (m *metrics) writePrometheus(w io.Writer, cacheLen, cacheCap int, ix indexSnapshot, slowlogLen int) error {
+	p := &promWriter{w: w}
+
+	p.header("ndss_uptime_seconds", "Seconds since the server started.", "gauge")
+	p.sample("ndss_uptime_seconds", "", time.Since(m.start).Seconds())
+	p.header("ndss_in_flight_requests", "Query requests currently executing.", "gauge")
+	p.sample("ndss_in_flight_requests", "", float64(m.inFlight.Load()))
+
+	p.header("ndss_requests_total", "Admitted query requests by endpoint and outcome.", "counter")
+	for e := endpoint(0); e < numEndpoints; e++ {
+		for o := outcome(0); o < numOutcomes; o++ {
+			_, c, _ := m.latency[e][o].load()
+			p.sample("ndss_requests_total",
+				fmt.Sprintf(`endpoint=%q,outcome=%q`, e.String(), o.String()), float64(c))
+		}
+	}
+	p.header("ndss_requests_rejected_total", "Requests rejected before admission (429 saturated).", "counter")
+	p.sample("ndss_requests_rejected_total", "", float64(m.rejected.Load()))
+	p.header("ndss_requests_refused_total", "Requests refused while shutting down (503).", "counter")
+	p.sample("ndss_requests_refused_total", "", float64(m.refused.Load()))
+
+	p.header("ndss_request_duration_seconds", "Admitted request latency by endpoint and outcome.", "histogram")
+	for e := endpoint(0); e < numEndpoints; e++ {
+		for o := outcome(0); o < numOutcomes; o++ {
+			b, c, s := m.latency[e][o].load()
+			if c == 0 {
+				continue // keep the exposition compact: only cells that fired
+			}
+			p.histogramSamples("ndss_request_duration_seconds",
+				fmt.Sprintf(`endpoint=%q,outcome=%q`, e.String(), o.String()), b, c, s)
+		}
+	}
+
+	p.header("ndss_stage_duration_seconds", "Per-query pipeline stage latency (executed queries).", "histogram")
+	for i, name := range search.StageNames {
+		b, c, s := m.stages[i].load()
+		p.histogramSamples("ndss_stage_duration_seconds", fmt.Sprintf(`stage=%q`, name), b, c, s)
+	}
+
+	p.header("ndss_cache_hits_total", "Result cache hits.", "counter")
+	p.sample("ndss_cache_hits_total", "", float64(m.cacheHits.Load()))
+	p.header("ndss_cache_misses_total", "Result cache misses.", "counter")
+	p.sample("ndss_cache_misses_total", "", float64(m.cacheMisses.Load()))
+	p.header("ndss_cache_entries", "Result cache current entries.", "gauge")
+	p.sample("ndss_cache_entries", "", float64(cacheLen))
+	p.header("ndss_cache_capacity", "Result cache capacity.", "gauge")
+	p.sample("ndss_cache_capacity", "", float64(cacheCap))
+
+	p.header("ndss_reloads_total", "Backend hot reloads by result.", "counter")
+	p.sample("ndss_reloads_total", `result="ok"`, float64(m.reloads.Load()))
+	p.sample("ndss_reloads_total", `result="error"`, float64(m.reloadFailures.Load()))
+
+	p.header("ndss_query_matches_total", "Matches returned by executed queries.", "counter")
+	p.sample("ndss_query_matches_total", "", float64(m.matches.Load()))
+	p.header("ndss_query_io_bytes_total", "Index bytes read by executed queries.", "counter")
+	p.sample("ndss_query_io_bytes_total", "", float64(m.ioBytes.Load()))
+	p.header("ndss_query_io_seconds_total", "Time executed queries spent in index reads.", "counter")
+	p.sample("ndss_query_io_seconds_total", "", float64(m.ioTimeNS.Load())/float64(time.Second))
+	p.header("ndss_query_cpu_seconds_total", "CPU-side time of executed queries (total minus I/O).", "counter")
+	p.sample("ndss_query_cpu_seconds_total", "", float64(m.cpuTimeNS.Load())/float64(time.Second))
+
+	p.header("ndss_index_info", "Active index build (constant 1, labeled).", "gauge")
+	p.sample("ndss_index_info", fmt.Sprintf(`build_id="%s",k="%d",t="%d"`,
+		escapeLabelValue(ix.BuildID), ix.K, ix.T), 1)
+	p.header("ndss_index_texts", "Texts in the active index.", "gauge")
+	p.sample("ndss_index_texts", "", float64(ix.NumTexts))
+	p.header("ndss_index_bytes_read_total", "Cumulative index bytes read since open.", "counter")
+	p.sample("ndss_index_bytes_read_total", "", float64(ix.BytesRead))
+	p.header("ndss_index_read_seconds_total", "Cumulative index read time since open.", "counter")
+	p.sample("ndss_index_read_seconds_total", "", float64(ix.ReadTimeNS)/float64(time.Second))
+
+	p.header("ndss_slowlog_entries", "Traces held by the slow-query flight recorder.", "gauge")
+	p.sample("ndss_slowlog_entries", "", float64(slowlogLen))
+
+	rt := sampleRuntime()
+	p.header("go_goroutines", "Number of goroutines.", "gauge")
+	p.sample("go_goroutines", "", float64(rt.Goroutines))
+	p.header("go_memstats_heap_alloc_bytes", "Heap bytes allocated and in use.", "gauge")
+	p.sample("go_memstats_heap_alloc_bytes", "", float64(rt.HeapAllocBytes))
+	p.header("go_memstats_heap_sys_bytes", "Heap bytes obtained from the OS.", "gauge")
+	p.sample("go_memstats_heap_sys_bytes", "", float64(rt.HeapSysBytes))
+	p.header("go_memstats_heap_objects", "Allocated heap objects.", "gauge")
+	p.sample("go_memstats_heap_objects", "", float64(rt.HeapObjects))
+	p.header("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", "counter")
+	p.sample("go_gc_pause_seconds_total", "", float64(rt.GCPauseTotalNS)/float64(time.Second))
+	p.header("go_gc_cycles_total", "Completed GC cycles.", "counter")
+	p.sample("go_gc_cycles_total", "", float64(rt.NumGC))
+
+	return p.err
+}

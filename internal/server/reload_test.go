@@ -104,10 +104,7 @@ func TestReloadSwapsBuild(t *testing.T) {
 	}
 
 	// Metrics report the reload and the new build.
-	mresp, err := ts.Client().Get(ts.URL + "/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
+	mresp := getMetricsJSON(t, ts.Client(), ts.URL)
 	defer mresp.Body.Close()
 	var met struct {
 		Reloads map[string]int64 `json:"reloads"`

@@ -4,21 +4,32 @@
 //
 // Endpoints:
 //
-//	POST /search        near-duplicate search (search.Options over JSON)
-//	POST /search/topk   ranked top-k retrieval
-//	GET|POST /explain   the deferral plan a query would run with (no I/O)
-//	GET  /healthz       liveness; 503 once shutdown has begun; reports
-//	                    the active index build id
-//	GET  /metrics       counters: requests, latency histogram, cache
-//	                    hit rate, aggregated per-query Stats/IOStats
-//	POST /admin/reload  zero-downtime hot swap to a freshly opened
-//	                    backend (requires Config.Reloader)
+//	POST /search         near-duplicate search (search.Options over JSON)
+//	POST /search/topk    ranked top-k retrieval
+//	GET|POST /explain    the deferral plan a query would run with (no I/O)
+//	GET  /healthz        liveness; 503 once shutdown has begun; reports
+//	                     the active index build id
+//	GET  /metrics        Prometheus text exposition (default) or the JSON
+//	                     counters for Accept: application/json: requests,
+//	                     per-endpoint and per-stage latency histograms,
+//	                     cache hit rate, Go runtime gauges
+//	GET  /debug/slowlog  the slow-query flight recorder: stage-annotated
+//	                     traces of the slowest and most recent queries
+//	POST /admin/reload   zero-downtime hot swap to a freshly opened
+//	                     backend (requires Config.Reloader)
 //
 // The server bounds concurrent query work with an admission semaphore
 // (saturation → 429), applies a per-request deadline (the `timeout_ms`
 // request field, capped by Config.MaxTimeout) whose expiry cancels the
 // query at the pipeline's next checkpoint, and serves repeated queries
 // from an LRU cache keyed by (sketch, options).
+//
+// Every request carries a request ID (client-supplied X-Request-ID or
+// generated), echoed in the response headers and error bodies and
+// stamped on the structured access log Config.Logger receives. Queries
+// slower than Config.SlowQueryThreshold additionally log their full
+// per-stage breakdown, and every executed query's trace enters the
+// flight recorder served at /debug/slowlog.
 //
 // The backend is held behind a reference-counted handle so Reload can
 // swap in a rebuilt index with zero failed requests: new queries land
@@ -33,7 +44,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -74,6 +87,17 @@ type Config struct {
 	// Reloader opens a fresh backend for Reload / POST /admin/reload.
 	// Nil disables hot reload (the endpoint answers 501).
 	Reloader func() (Backend, error)
+	// Logger receives the structured access log, slow-query warnings,
+	// and reload events. Nil discards everything.
+	Logger *slog.Logger
+	// SlowQueryThreshold logs a warning with the full per-stage
+	// breakdown for executed queries at least this slow. Zero disables
+	// the warning (the flight recorder still records every query).
+	SlowQueryThreshold time.Duration
+	// SlowlogEntries sizes each view (slowest, most recent) of the
+	// slow-query flight recorder at /debug/slowlog. Default 32;
+	// negative disables the recorder.
+	SlowlogEntries int
 }
 
 func (c *Config) setDefaults() {
@@ -88,6 +112,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 256
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 }
 
@@ -105,6 +132,8 @@ type Server struct {
 	sem     chan struct{}
 	cache   *resultCache // nil when disabled
 	met     metrics
+	slow    *slowlog // nil when disabled
+	log     *slog.Logger
 	mux     *http.ServeMux
 	closing atomic.Bool
 }
@@ -126,6 +155,8 @@ func New(b Backend, cfg Config) *Server {
 		sem:    make(chan struct{}, cfg.MaxInFlight),
 		cache:  newResultCache(cfg.CacheEntries),
 		met:    metrics{start: time.Now()},
+		slow:   newSlowlog(cfg.SlowlogEntries),
+		log:    cfg.Logger,
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/search", s.handleSearch)
@@ -133,6 +164,7 @@ func New(b Backend, cfg Config) *Server {
 	s.mux.HandleFunc("/explain", s.handleExplain)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/slowlog", s.handleSlowlog)
 	s.mux.HandleFunc("/admin/reload", s.handleReload)
 	return s
 }
@@ -177,6 +209,7 @@ func (s *Server) Reload() (oldID, newID string, err error) {
 	nb, err := s.cfg.Reloader()
 	if err != nil {
 		s.met.reloadFailures.Add(1)
+		s.log.Error("reload failed, keeping previous backend", "error", err)
 		return "", "", fmt.Errorf("server: reload backend: %w", err)
 	}
 	next := &backendHandle{b: nb}
@@ -201,6 +234,7 @@ func (s *Server) Reload() (oldID, newID string, err error) {
 		c.Close()
 	}
 	s.met.reloads.Add(1)
+	s.log.Info("backend reloaded", "old_build_id", prev.b.BuildID(), "build_id", nb.BuildID())
 	return prev.b.BuildID(), nb.BuildID(), nil
 }
 
@@ -208,19 +242,19 @@ func (s *Server) Reload() (oldID, newID string, err error) {
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
+		s.writeError(w, r, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	if s.closing.Load() {
-		s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		s.writeError(w, r, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
 	oldID, newID, err := s.Reload()
 	switch {
 	case errors.Is(err, ErrNoReloader):
-		s.writeError(w, http.StatusNotImplemented, ErrNoReloader.Error())
+		s.writeError(w, r, http.StatusNotImplemented, ErrNoReloader.Error())
 	case err != nil:
-		s.writeError(w, http.StatusInternalServerError, err.Error())
+		s.writeError(w, r, http.StatusInternalServerError, err.Error())
 	default:
 		writeJSON(w, http.StatusOK, map[string]string{
 			"status": "reloaded", "old_build_id": oldID, "build_id": newID,
@@ -228,7 +262,28 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler: it assigns the request its ID,
+// echoes it as X-Request-ID, and emits one structured access-log line
+// per request once the handler returns.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	id := requestIDFor(r)
+	w.Header().Set("X-Request-ID", id)
+	r = r.WithContext(contextWithRequestID(r.Context(), id))
+	sw := &statusWriter{ResponseWriter: w}
+	s.mux.ServeHTTP(sw, r)
+	status := sw.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+		slog.String("request_id", id),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", status),
+		slog.Duration("duration", time.Since(start)),
+	)
+}
 
 // BeginShutdown flips the server into draining mode: /healthz reports
 // 503 (load balancers stop routing here) and new query requests are
@@ -276,18 +331,30 @@ type matchJSON struct {
 	Jaccard    float64 `json:"jaccard,omitempty"`
 }
 
+// stageTimesJSON is the stable wire shape of search.StageTimes inside
+// /search's stats. Field names are pinned by TestStatsWireFormatGolden.
+type stageTimesJSON struct {
+	SketchNS int64 `json:"sketch_ns"`
+	PlanNS   int64 `json:"plan_ns"`
+	GatherNS int64 `json:"gather_ns"`
+	CountNS  int64 `json:"count_ns"`
+	MergeNS  int64 `json:"merge_ns"`
+	VerifyNS int64 `json:"verify_ns"`
+}
+
 type statsJSON struct {
-	K          int   `json:"k"`
-	Beta       int   `json:"beta"`
-	ShortLists int   `json:"short_lists"`
-	LongLists  int   `json:"long_lists"`
-	Candidates int   `json:"candidates"`
-	Probed     int   `json:"probed"`
-	Matches    int   `json:"matches"`
-	IOBytes    int64 `json:"io_bytes"`
-	IOTimeNS   int64 `json:"io_time_ns"`
-	CPUTimeNS  int64 `json:"cpu_time_ns"`
-	TotalNS    int64 `json:"total_ns"`
+	K          int            `json:"k"`
+	Beta       int            `json:"beta"`
+	ShortLists int            `json:"short_lists"`
+	LongLists  int            `json:"long_lists"`
+	Candidates int            `json:"candidates"`
+	Probed     int            `json:"probed"`
+	Matches    int            `json:"matches"`
+	IOBytes    int64          `json:"io_bytes"`
+	IOTimeNS   int64          `json:"io_time_ns"`
+	CPUTimeNS  int64          `json:"cpu_time_ns"`
+	TotalNS    int64          `json:"total_ns"`
+	Stages     stageTimesJSON `json:"stages"`
 }
 
 type searchResponse struct {
@@ -297,7 +364,8 @@ type searchResponse struct {
 }
 
 type errorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 func toMatchJSON(ms []search.Match) []matchJSON {
@@ -311,12 +379,19 @@ func toMatchJSON(ms []search.Match) []matchJSON {
 	return out
 }
 
+func toStageTimesJSON(t search.StageTimes) stageTimesJSON {
+	return stageTimesJSON{
+		SketchNS: int64(t.Sketch), PlanNS: int64(t.Plan), GatherNS: int64(t.Gather),
+		CountNS: int64(t.Count), MergeNS: int64(t.Merge), VerifyNS: int64(t.Verify),
+	}
+}
+
 func toStatsJSON(st search.Stats) statsJSON {
 	return statsJSON{
 		K: st.K, Beta: st.Beta, ShortLists: st.ShortLists, LongLists: st.LongLists,
 		Candidates: st.Candidates, Probed: st.Probed, Matches: st.Matches,
 		IOBytes: st.IOBytes, IOTimeNS: int64(st.IOTime), CPUTimeNS: int64(st.CPUTime),
-		TotalNS: int64(st.Total),
+		TotalNS: int64(st.Total), Stages: toStageTimesJSON(st.StageTimes),
 	}
 }
 
@@ -326,7 +401,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, msg string) {
 	switch status {
 	case http.StatusBadRequest:
 		s.met.badInput.Add(1)
@@ -339,7 +414,7 @@ func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
 	case http.StatusInternalServerError:
 		s.met.internals.Add(1)
 	}
-	writeJSON(w, status, errorResponse{Error: msg})
+	writeJSON(w, status, errorResponse{Error: msg, RequestID: RequestIDFromContext(r.Context())})
 }
 
 // decodeRequest parses a query request from a POST JSON body, or — for
@@ -388,15 +463,15 @@ func splitTokens(s string) []string {
 
 // admit reserves an execution slot, or reports why it could not. The
 // returned release func is non-nil iff admission succeeded.
-func (s *Server) admit(w http.ResponseWriter) func() {
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) func() {
 	if s.closing.Load() {
-		s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		s.writeError(w, r, http.StatusServiceUnavailable, "server is shutting down")
 		return nil
 	}
 	select {
 	case s.sem <- struct{}{}:
 	default:
-		s.writeError(w, http.StatusTooManyRequests, "server saturated: too many in-flight queries")
+		s.writeError(w, r, http.StatusTooManyRequests, "server saturated: too many in-flight queries")
 		return nil
 	}
 	s.met.inFlight.Add(1)
@@ -418,32 +493,15 @@ func (s *Server) deadline(r *http.Request, req searchRequest) (context.Context, 
 	return context.WithTimeout(r.Context(), d)
 }
 
-// finish maps a query error onto an HTTP response and the counters.
-func (s *Server) finish(w http.ResponseWriter, err error) bool {
-	switch {
-	case err == nil:
-		return true
-	case errors.Is(err, context.DeadlineExceeded):
-		s.writeError(w, http.StatusGatewayTimeout, "deadline exceeded")
-	case errors.Is(err, context.Canceled):
-		// Client went away; nobody reads the response, but account for it.
-		s.met.canceled.Add(1)
-		w.WriteHeader(499) // client closed request (nginx convention)
-	default:
-		s.writeError(w, http.StatusInternalServerError, err.Error())
-	}
-	return false
-}
-
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
+		s.writeError(w, r, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	req, err := decodeRequest(r)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err.Error())
+		s.writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	s.serveQuery(w, r, req, false)
@@ -452,16 +510,16 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
+		s.writeError(w, r, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	req, err := decodeRequest(r)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err.Error())
+		s.writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	if req.N <= 0 {
-		s.writeError(w, http.StatusBadRequest, "n must be positive")
+		s.writeError(w, r, http.StatusBadRequest, "n must be positive")
 		return
 	}
 	s.serveQuery(w, r, req, true)
@@ -469,17 +527,31 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 
 // serveQuery is the shared execution path of /search and /search/topk:
 // validate → cache probe → admission → deadline → query → respond.
+//
+// Latency accounting invariant: every admitted request — one that was
+// served from cache or acquired an execution slot — records exactly one
+// latency observation, tagged with its endpoint and outcome. Requests
+// turned away before admission (malformed, saturated, shutting down)
+// record none. TestLatencyAccounting pins this down.
 func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, req searchRequest, topk bool) {
 	start := time.Now()
+	ep := epSearch
+	if topk {
+		ep = epTopK
+	}
 	if s.closing.Load() {
-		s.writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		s.writeError(w, r, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
 	if len(req.Tokens) == 0 {
-		s.writeError(w, http.StatusBadRequest, "empty query: tokens required")
+		s.writeError(w, r, http.StatusBadRequest, "empty query: tokens required")
 		return
 	}
 	opts := req.options()
+	// The server always collects detailed spans: the flight recorder
+	// and slow-query log need them, and the copy is one small
+	// allocation per executed query.
+	opts.Trace = true
 	theta := opts.Theta
 	if topk {
 		theta = req.FloorTheta
@@ -488,7 +560,7 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, req searchRe
 		}
 	}
 	if theta <= 0 || theta > 1 {
-		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("theta must be in (0, 1], got %v", theta))
+		s.writeError(w, r, http.StatusBadRequest, fmt.Sprintf("theta must be in (0, 1], got %v", theta))
 		return
 	}
 	// Pin the backend for the whole request: the sketch and the query
@@ -497,7 +569,7 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, req searchRe
 	defer releaseBackend()
 	sketch, err := backend.Family().Sketch(req.Tokens)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err.Error())
+		s.writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 
@@ -514,12 +586,12 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, req searchRe
 			writeJSON(w, http.StatusOK, searchResponse{
 				Matches: toMatchJSON(e.matches), Stats: toStatsJSON(e.stats), Cached: true,
 			})
-			s.met.latency.observe(time.Since(start))
+			s.met.observe(ep, outCached, time.Since(start))
 			return
 		}
 	}
 
-	release := s.admit(w)
+	release := s.admit(w, r)
 	if release == nil {
 		return
 	}
@@ -529,6 +601,11 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, req searchRe
 	if s.cache != nil {
 		s.met.cacheMisses.Add(1)
 	}
+
+	// From here the request is admitted: exactly one observation fires
+	// whichever path the query takes.
+	out := outInternal
+	defer func() { s.met.observe(ep, out, time.Since(start)) }()
 
 	ctx, cancel := s.deadline(r, req)
 	defer cancel()
@@ -545,20 +622,69 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, req searchRe
 		matches, st, err = backend.SearchContext(ctx, req.Tokens, opts)
 	}
 	if err != nil {
-		// Validation errors surface as 400, not 500.
-		if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
-			s.writeError(w, http.StatusBadRequest, err.Error())
-			return
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			out = outTimeout
+			s.writeError(w, r, http.StatusGatewayTimeout, "deadline exceeded")
+		case errors.Is(err, context.Canceled):
+			// Client went away; nobody reads the response, but account
+			// for it.
+			out = outCanceled
+			s.met.canceled.Add(1)
+			w.WriteHeader(499) // client closed request (nginx convention)
+		default:
+			// Validation errors surface as 400, not 500.
+			out = outBadRequest
+			s.writeError(w, r, http.StatusBadRequest, err.Error())
 		}
-		s.finish(w, err)
 		return
 	}
+	out = outOK
 	s.met.recordStats(st)
+	s.recordQuery(r, ep, req, start, st)
 	if s.cache != nil {
 		s.cache.put(&cacheEntry{key: key, matches: matches, stats: *st})
 	}
 	writeJSON(w, http.StatusOK, searchResponse{Matches: toMatchJSON(matches), Stats: toStatsJSON(*st)})
-	s.met.latency.observe(time.Since(start))
+}
+
+// recordQuery feeds one executed query into the flight recorder and,
+// past the slow threshold, the structured log.
+func (s *Server) recordQuery(r *http.Request, ep endpoint, req searchRequest, start time.Time, st *search.Stats) {
+	dur := time.Since(start)
+	id := RequestIDFromContext(r.Context())
+	if s.slow != nil {
+		stats := toStatsJSON(*st)
+		s.slow.record(slowlogEntry{
+			RequestID:  id,
+			Endpoint:   ep.String(),
+			Start:      start,
+			DurationNS: int64(dur),
+			Theta:      req.Theta,
+			NumTokens:  len(req.Tokens),
+			Stats:      &stats,
+			Spans:      st.Spans,
+		})
+	}
+	if t := s.cfg.SlowQueryThreshold; t > 0 && dur >= t {
+		d := st.StageTimes
+		s.log.LogAttrs(r.Context(), slog.LevelWarn, "slow query",
+			slog.String("request_id", id),
+			slog.String("endpoint", ep.String()),
+			slog.Duration("duration", dur),
+			slog.Float64("theta", req.Theta),
+			slog.Int("num_tokens", len(req.Tokens)),
+			slog.Duration("sketch", d.Sketch),
+			slog.Duration("plan", d.Plan),
+			slog.Duration("gather", d.Gather),
+			slog.Duration("count", d.Count),
+			slog.Duration("merge", d.Merge),
+			slog.Duration("verify", d.Verify),
+			slog.Duration("io", st.IOTime),
+			slog.Int64("io_bytes", st.IOBytes),
+			slog.Int("matches", st.Matches),
+		)
+	}
 }
 
 func (s *Server) bumpEndpoint(topk bool) {
@@ -572,32 +698,37 @@ func (s *Server) bumpEndpoint(topk bool) {
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet && r.Method != http.MethodPost {
 		w.Header().Set("Allow", "GET, POST")
-		s.writeError(w, http.StatusMethodNotAllowed, "GET or POST required")
+		s.writeError(w, r, http.StatusMethodNotAllowed, "GET or POST required")
 		return
 	}
 	req, err := decodeRequest(r)
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err.Error())
+		s.writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	if len(req.Tokens) == 0 {
-		s.writeError(w, http.StatusBadRequest, "empty query: tokens required")
+		s.writeError(w, r, http.StatusBadRequest, "empty query: tokens required")
 		return
 	}
-	release := s.admit(w)
+	start := time.Now()
+	release := s.admit(w, r)
 	if release == nil {
 		return
 	}
 	defer release()
 	s.met.requests.Add(1)
 	s.met.explains.Add(1)
+	out := outInternal
+	defer func() { s.met.observe(epExplain, out, time.Since(start)) }()
 	backend, releaseBackend := s.acquire()
 	defer releaseBackend()
 	plan, err := backend.Explain(req.Tokens, req.options())
 	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err.Error())
+		out = outBadRequest
+		s.writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
+	out = outOK
 	writeJSON(w, http.StatusOK, map[string]any{
 		"beta":     plan.Beta,
 		"alpha":    plan.Alpha,
@@ -618,6 +749,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "build_id": buildID})
 }
 
+// wantsJSON implements /metrics content negotiation: JSON only when the
+// client explicitly accepts application/json (scrapers send text/plain
+// or nothing and get the exposition format).
+func wantsJSON(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "application/json")
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	cacheLen, cacheCap := 0, 0
 	if s.cache != nil {
@@ -626,8 +764,39 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	b := s.backend()
 	meta := b.Meta()
 	ios := b.IOStats()
-	writeJSON(w, http.StatusOK, s.met.snapshot(cacheLen, cacheCap, indexSnapshot{
+	ix := indexSnapshot{
 		BuildID: b.BuildID(), K: meta.K, T: meta.T, NumTexts: meta.NumTexts,
 		BytesRead: ios.BytesRead, ReadTimeNS: int64(ios.ReadTime),
-	}))
+	}
+	if wantsJSON(r) {
+		writeJSON(w, http.StatusOK, s.met.snapshot(cacheLen, cacheCap, ix))
+		return
+	}
+	w.Header().Set("Content-Type", promContentType)
+	s.met.writePrometheus(w, cacheLen, cacheCap, ix, s.slow.len())
+}
+
+// handleSlowlog serves the flight recorder: the slowest and the most
+// recent executed queries, each with its stage-annotated trace.
+func (s *Server) handleSlowlog(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.writeError(w, r, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if s.slow == nil {
+		s.writeError(w, r, http.StatusNotImplemented, "slow-query recorder disabled")
+		return
+	}
+	slowest, recent := s.slow.snapshot()
+	if slowest == nil {
+		slowest = []slowlogEntry{}
+	}
+	if recent == nil {
+		recent = []slowlogEntry{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"slowest": slowest,
+		"recent":  recent,
+	})
 }

@@ -39,6 +39,22 @@ func testFixture(t *testing.T) (*corpus.Corpus, *core.Engine, []uint32) {
 	return c, engine, c.Text(0)[:12]
 }
 
+// getMetricsJSON fetches /metrics with the Accept header that selects
+// the JSON rendering (the default is Prometheus text exposition).
+func getMetricsJSON(t *testing.T, client *http.Client, baseURL string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, baseURL+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
 func postJSON(t *testing.T, client *http.Client, url string, body any) (*http.Response, []byte) {
 	t.Helper()
 	data, err := json.Marshal(body)
@@ -156,10 +172,7 @@ func TestServeCacheHit(t *testing.T) {
 			HitRate float64 `json:"hit_rate"`
 		} `json:"cache"`
 	}
-	mresp, err := ts.Client().Get(ts.URL + "/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
+	mresp := getMetricsJSON(t, ts.Client(), ts.URL)
 	if err := json.NewDecoder(mresp.Body).Decode(&met); err != nil {
 		t.Fatal(err)
 	}
@@ -236,10 +249,7 @@ func TestServeConcurrentSearches(t *testing.T) {
 			Count int64 `json:"count"`
 		} `json:"latency"`
 	}
-	mresp, err := ts.Client().Get(ts.URL + "/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
+	mresp := getMetricsJSON(t, ts.Client(), ts.URL)
 	if err := json.NewDecoder(mresp.Body).Decode(&met); err != nil {
 		t.Fatal(err)
 	}
@@ -336,10 +346,7 @@ func TestServeDeadlineExpiry(t *testing.T) {
 			Timeout int64 `json:"timeout"`
 		} `json:"requests"`
 	}
-	mresp, err := ts.Client().Get(ts.URL + "/metrics")
-	if err != nil {
-		t.Fatal(err)
-	}
+	mresp := getMetricsJSON(t, ts.Client(), ts.URL)
 	if err := json.NewDecoder(mresp.Body).Decode(&met); err != nil {
 		t.Fatal(err)
 	}
