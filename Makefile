@@ -1,0 +1,56 @@
+# Developer entry points. Each target runs exactly what the matching CI
+# job runs, so "it passed locally" and "it passed CI" mean the same
+# thing.
+
+GO ?= go
+FUZZTIME ?= 2m
+
+.PHONY: all build test race lint vet fmt fuzz-smoke bench bench-check ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# CI "test" job: gofmt + vet + build + race suite.
+race:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+	$(GO) test -race -count=1 ./internal/server/
+
+# CI "lint" job: the invariant analyzers (docs/INVARIANTS.md), both
+# standalone and driven by the go command, plus their fixture tests.
+lint:
+	$(GO) run ./cmd/ndss-lint ./...
+	$(GO) build -o $(CURDIR)/bin/ndss-lint ./cmd/ndss-lint
+	$(GO) vet -vettool=$(CURDIR)/bin/ndss-lint ./...
+	$(GO) test -count=1 ./internal/analysis/...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+# CI "fuzz-smoke" job: each fuzz target over its checked-in seed corpus
+# plus FUZZTIME of fresh mutation.
+fuzz-smoke:
+	$(GO) test ./internal/window/ -run FuzzCompactWindows -fuzz FuzzCompactWindows -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/window/ -run FuzzGenerateLinear -fuzz FuzzGenerateLinear -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/index/ -run FuzzManifestParse -fuzz FuzzManifestParse -fuzztime $(FUZZTIME)
+
+# CI "bench-smoke" job: the full figure/table suite into BENCH.json,
+# then the schema check.
+bench:
+	$(GO) run ./cmd/ndss-bench -json BENCH.json
+	$(GO) run ./cmd/ndss-bench -check BENCH.json
+
+bench-check:
+	$(GO) run ./cmd/ndss-bench -check BENCH.json
+
+# Everything a merge gate runs.
+ci: race lint test

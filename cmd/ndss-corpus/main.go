@@ -62,7 +62,9 @@ func runGen(args []string) error {
 	dupRate := fs.Float64("duprate", 0.1, "near-duplicate injection rate")
 	dupLen := fs.Int("duplen", 64, "injected snippet length")
 	dupMut := fs.Float64("dupmut", 0.05, "per-token mutation probability in injected snippets")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	c, err := corpus.Synthesize(corpus.SynthConfig{
 		NumTexts: *texts, MinLength: *minLen, MaxLength: *maxLen,
@@ -85,7 +87,9 @@ func runTokenize(args []string) error {
 	out := fs.String("out", "corpus.tok", "output corpus file")
 	bpePath := fs.String("bpe", "", "BPE model file (trained if absent)")
 	vocab := fs.Int("vocab", 4096, "BPE vocabulary size when training")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *in == "" {
 		return fmt.Errorf("-in is required")
 	}
@@ -110,7 +114,7 @@ func runTokenize(args []string) error {
 	if *bpePath != "" {
 		if mf, err := os.Open(*bpePath); err == nil {
 			bpe, err = token.LoadBPE(mf)
-			mf.Close()
+			_ = mf.Close() // read-only; nothing to recover from a close failure
 			if err != nil {
 				return err
 			}
@@ -129,7 +133,7 @@ func runTokenize(args []string) error {
 				return err
 			}
 			if err := bpe.Save(mf); err != nil {
-				mf.Close()
+				_ = mf.Close() // the Save error is the one to report
 				return err
 			}
 			if err := mf.Close(); err != nil {
@@ -159,7 +163,9 @@ func runTokenize(args []string) error {
 func runStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	in := fs.String("in", "", "corpus file")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *in == "" {
 		return fmt.Errorf("-in is required")
 	}

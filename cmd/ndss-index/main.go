@@ -108,7 +108,9 @@ func run(corpusPath, out string, opts index.BuildOptions, external bool, shards 
 		return fmt.Errorf("reopen committed index: %w", err)
 	}
 	buildID := ix.BuildID()
-	ix.Close()
+	if err := ix.Close(); err != nil {
+		return fmt.Errorf("close reopened index: %w", err)
+	}
 	fmt.Printf("index written to %s (build %s)\n", out, buildID)
 	if stats != nil {
 		fmt.Printf("  compact windows: %d\n", stats.Windows)

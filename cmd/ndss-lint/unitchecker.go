@@ -1,0 +1,137 @@
+package main
+
+// The vet-tool half of ndss-lint: the go command invokes the tool once
+// per package with a JSON config describing the package's files, its
+// import map, and the export data of every dependency (all produced by
+// the build cache). This mirrors the x/tools unitchecker protocol,
+// implemented here on the standard library alone.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ndss/internal/analysis"
+)
+
+// vetConfig is the subset of the go command's vet config this tool
+// consumes.
+type vetConfig struct {
+	ID         string
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+
+	ImportMap   map[string]string // import path in source -> canonical path
+	PackageFile map[string]string // canonical path -> export data file
+
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func unitcheckerMain(cfgPath string) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatalf("read config: %v", err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatalf("parse config %s: %v", cfgPath, err)
+	}
+	// This tool exports no facts, but the go command expects the vetx
+	// output file to exist.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fatalf("write vetx: %v", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return
+	}
+
+	fset := token.NewFileSet()
+	pkg := &analysis.Package{
+		ImportPath: importPathOf(cfg),
+		Dir:        cfg.Dir,
+		Fset:       fset,
+		Info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		},
+	}
+	for _, name := range cfg.GoFiles {
+		// The invariants are production-code invariants; test files of
+		// the package under vet are skipped.
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(cfg.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return
+			}
+			fatalf("%v", err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	imp := analysis.ExportImporter(fset, func(path string) (string, bool) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		f, ok := cfg.PackageFile[path]
+		return f, ok
+	})
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	pkg.Types, _ = conf.Check(pkg.ImportPath, fset, pkg.Files, pkg.Info)
+	if len(pkg.TypeErrors) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintln(os.Stderr, terr)
+		}
+		os.Exit(1)
+	}
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, analysis.All())
+	if err != nil {
+		fatalf("%v", err)
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.Pos, d.Message)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+}
+
+// importPathOf strips the go command's test-variant suffix
+// ("pkg [pkg.test]") so scope matching sees the plain import path.
+func importPathOf(cfg vetConfig) string {
+	p := cfg.ImportPath
+	if i := strings.Index(p, " ["); i >= 0 {
+		p = p[:i]
+	}
+	return p
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ndss-lint: "+format+"\n", args...)
+	os.Exit(1)
+}

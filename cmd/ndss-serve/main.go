@@ -139,7 +139,7 @@ func openBackend(idxDir, corpusPath string) (*servedBackend, error) {
 	engine, err := core.Open(idxDir, src)
 	if err != nil {
 		if r != nil {
-			r.Close()
+			_ = r.Close() // the Open error is the one to report
 		}
 		return nil, err
 	}
@@ -246,7 +246,7 @@ func run(c serveConfig) error {
 		return fmt.Errorf("shutdown: %w", err)
 	}
 	if dbg != nil {
-		dbg.Shutdown(ctx)
+		_ = dbg.Shutdown(ctx) // best-effort; the process is exiting either way
 	}
 	logger.Info("drained, exiting")
 	return nil

@@ -1,0 +1,60 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"ndss/internal/analysis"
+	"ndss/internal/analysis/atest"
+)
+
+// Each fixture directory is type-checked as a package under the import
+// path the analyzer's scope expects, then diagnostics are matched
+// against the fixture's `// want` comments line by line.
+
+func TestFSIODiscipline(t *testing.T) {
+	atest.Run(t, analysis.FSIODiscipline, "testdata/fsiodiscipline", "ndss/internal/index")
+}
+
+func TestCtxFlow(t *testing.T) {
+	atest.Run(t, analysis.CtxFlow, "testdata/ctxflow", "ndss/internal/search")
+}
+
+func TestPoolPair(t *testing.T) {
+	atest.Run(t, analysis.PoolPair, "testdata/poolpair", "ndss/internal/search")
+}
+
+func TestMetricHygiene(t *testing.T) {
+	atest.Run(t, analysis.MetricHygiene, "testdata/metrichygiene", "ndss/internal/server")
+}
+
+func TestMonoTimeHotPath(t *testing.T) {
+	atest.Run(t, analysis.MonoTime, "testdata/monotime", "ndss/internal/search")
+}
+
+func TestMonoTimeModuleWide(t *testing.T) {
+	atest.Run(t, analysis.MonoTime, "testdata/monotime_index", "ndss/internal/index")
+}
+
+func TestErrDiscard(t *testing.T) {
+	atest.Run(t, analysis.ErrDiscard, "testdata/errdiscard", "ndss/cmd/fix")
+}
+
+func TestDirectiveSuppression(t *testing.T) {
+	atest.Run(t, analysis.FSIODiscipline, "testdata/directive", "ndss/internal/index")
+}
+
+// Out-of-scope packages must produce no diagnostics no matter what the
+// code does.
+func TestScopeGating(t *testing.T) {
+	atest.Run(t, analysis.FSIODiscipline, "testdata/scopegate", "ndss/internal/window")
+}
+
+func TestByName(t *testing.T) {
+	got, bad := analysis.ByName([]string{"poolpair", "monotime"})
+	if bad != "" || len(got) != 2 || got[0].Name != "poolpair" || got[1].Name != "monotime" {
+		t.Fatalf("ByName(poolpair,monotime) = %v, %q", got, bad)
+	}
+	if got, bad := analysis.ByName([]string{"nosuch"}); got != nil || bad != "nosuch" {
+		t.Fatalf("ByName(nosuch) = %v, %q; want nil, nosuch", got, bad)
+	}
+}

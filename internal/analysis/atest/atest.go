@@ -1,0 +1,208 @@
+// Package atest is a minimal analysistest-style fixture runner for the
+// ndss-lint analyzers: it type-checks a testdata directory as a
+// package with a caller-chosen import path (the analyzers are
+// scope-sensitive) and compares diagnostics against `// want "regex"`
+// comments on the offending lines.
+package atest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"testing"
+
+	"ndss/internal/analysis"
+)
+
+// Run type-checks the fixture directory as a package rooted at
+// importPath, runs the analyzer, and asserts that diagnostics and
+// `// want` expectations agree line by line.
+func Run(t *testing.T, a *analysis.Analyzer, dir, importPath string) {
+	t.Helper()
+	pkg, err := loadFixture(dir, importPath)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture %s does not type-check: %v", dir, pkg.TypeErrors)
+	}
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, dir, err)
+	}
+	checkExpectations(t, pkg, diags)
+}
+
+type expectation struct {
+	re   *regexp.Regexp
+	file string
+	line int
+	hit  bool
+}
+
+// wantRe extracts the quoted regexes of one `want` comment. Both
+// double quotes and backquotes are accepted.
+var wantRe = regexp.MustCompile("//\\s*want\\s+((?:(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)\\s*)+)")
+
+var wantArgRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+func checkExpectations(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, arg := range wantArgRe.FindAllString(m[1], -1) {
+					var pat string
+					if arg[0] == '`' {
+						pat = arg[1 : len(arg)-1]
+					} else {
+						if err := json.Unmarshal([]byte(arg), &pat); err != nil {
+							t.Fatalf("%s: bad want pattern %s: %v", pos, arg, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &expectation{re: re, file: pos.Filename, line: pos.Line})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+func loadFixture(dir, importPath string) (*analysis.Package, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	if len(matches) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	pkg := &analysis.Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		},
+	}
+	imports := map[string]bool{}
+	for _, path := range matches {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+		for _, imp := range f.Imports {
+			p, _ := importPathOf(imp)
+			imports[p] = true
+		}
+	}
+	exports, err := exportsFor(imports)
+	if err != nil {
+		return nil, err
+	}
+	imp := analysis.ExportImporter(fset, func(path string) (string, bool) {
+		f, ok := exports[path]
+		return f, ok
+	})
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	pkg.Types, _ = conf.Check(importPath, fset, pkg.Files, pkg.Info)
+	return pkg, nil
+}
+
+func importPathOf(imp *ast.ImportSpec) (string, error) {
+	var p string
+	err := json.Unmarshal([]byte(imp.Path.Value), &p)
+	return p, err
+}
+
+// exportCache maps import paths to compiler export data files,
+// populated lazily by `go list -export` and shared across fixtures.
+var (
+	exportMu    sync.Mutex
+	exportCache = map[string]string{}
+)
+
+func exportsFor(imports map[string]bool) (map[string]string, error) {
+	exportMu.Lock()
+	defer exportMu.Unlock()
+	var missing []string
+	for p := range imports {
+		if p == "" || p == "unsafe" {
+			continue
+		}
+		if _, ok := exportCache[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) > 0 {
+		args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"}, missing...)
+		cmd := exec.Command("go", args...)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list -export %v: %v\n%s", missing, err, stderr.Bytes())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var lp struct{ ImportPath, Export string }
+			if err := dec.Decode(&lp); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			if lp.Export != "" {
+				exportCache[lp.ImportPath] = lp.Export
+			}
+		}
+	}
+	out := map[string]string{}
+	for p, f := range exportCache {
+		out[p] = f
+	}
+	return out, nil
+}

@@ -1,0 +1,82 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// errdiscardScope: the CLIs were excluded from earlier cleanup passes;
+// this closes that gap mechanically.
+var errdiscardScope = []string{"ndss/cmd"}
+
+// errdiscardAllowed are callees whose error is conventionally ignored:
+// terminal printing (an error writing to a dead stdout has no
+// recovery) and best-effort cleanup.
+var errdiscardAllowed = map[string]bool{
+	"fmt": true,
+}
+
+// ErrDiscard flags statements in cmd/ that silently drop an error
+// result: a CLI that ignores an error exits 0 on failure, which makes
+// scripted experiment pipelines (EXPERIMENTS.md) silently wrong.
+var ErrDiscard = &Analyzer{
+	Name:   "errdiscard",
+	Doc:    "cmd/ must not discard error results (assign and handle, or explicitly assign to _)",
+	Anchor: "errdiscard",
+	Run:    runErrDiscard,
+}
+
+func runErrDiscard(pass *Pass) error {
+	if !underAny(pass.PkgPath(), errdiscardScope...) && !strings.HasPrefix(pass.PkgPath(), "ndss/cmd/") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			// Only bare expression statements discard results; defers of
+			// cleanup calls (f.Close) are conventional.
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := staticCallee(pass.TypesInfo, call)
+			if fn != nil && fn.Pkg() != nil && errdiscardAllowed[fn.Pkg().Path()] {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[call]
+			if !ok {
+				return true
+			}
+			if resultHasError(tv.Type) {
+				name := "call"
+				if fn != nil {
+					name = fn.Name()
+				}
+				pass.Reportf(call.Pos(),
+					"%s returns an error that is silently discarded; handle it or assign to _ explicitly", name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func resultHasError(t types.Type) bool {
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// fsioScope lists the packages whose durable state must only be
+// touched through the internal/fsio seam: the index lifecycle (build,
+// commit, recovery, reads) is crash-safe precisely because every
+// filesystem operation it performs can be fault-injected and fsynced
+// by fsio. A direct os call bypasses atomic commit and the crash
+// tests silently.
+var fsioScope = []string{"ndss/internal/index"}
+
+// fsioForbidden are the package-level functions the seam replaces.
+// Reads are included: FaultFS proves read errors surface as wrapped
+// *ReadError instead of panics, which only holds for reads that go
+// through the seam.
+var fsioForbidden = map[string][]string{
+	"os": {
+		"Create", "CreateTemp", "Open", "OpenFile", "ReadFile", "WriteFile",
+		"Mkdir", "MkdirAll", "MkdirTemp", "Rename", "Remove", "RemoveAll",
+		"Stat", "Lstat", "Truncate", "Link", "Symlink", "ReadDir", "Chmod",
+	},
+	"path/filepath": {"Glob", "Walk", "WalkDir"},
+	"io/ioutil":     {"ReadFile", "WriteFile", "TempFile", "TempDir", "ReadDir"},
+}
+
+// FSIODiscipline reports direct filesystem calls in the index layer
+// that bypass the internal/fsio seam (the PR 3 crash-safety boundary).
+var FSIODiscipline = &Analyzer{
+	Name:   "fsiodiscipline",
+	Doc:    "index-layer filesystem operations must go through the internal/fsio seam",
+	Anchor: "fsio-discipline",
+	Run:    runFSIODiscipline,
+}
+
+func runFSIODiscipline(pass *Pass) error {
+	if !underAny(pass.PkgPath(), fsioScope...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := staticCallee(pass.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			if fn.Pkg() != nil {
+				if names, ok := fsioForbidden[fn.Pkg().Path()]; ok && fn.Type().(*types.Signature).Recv() == nil {
+					for _, name := range names {
+						if fn.Name() == name {
+							pass.Reportf(call.Pos(),
+								"direct %s.%s bypasses the fsio.FS crash-safety seam; use the builder's fsio.FS",
+								fn.Pkg().Name(), fn.Name())
+							return true
+						}
+					}
+				}
+			}
+			// Methods on *os.File (Sync, WriteString, ...) mean an *os.File
+			// escaped into this package without going through fsio.File.
+			if methodOnNamed(fn, "os", "File") {
+				pass.Reportf(call.Pos(),
+					"direct (*os.File).%s bypasses the fsio.File seam; operate on an fsio.File",
+					fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

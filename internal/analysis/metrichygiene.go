@@ -1,0 +1,253 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+)
+
+// metricScope is where the Prometheus exposition lives.
+var metricScope = []string{"ndss/internal/server"}
+
+// metricNameRe is the documented catalog shape: ndss_* for service
+// metrics, go_* for runtime gauges, snake_case throughout.
+var metricNameRe = regexp.MustCompile(`^(ndss|go)(_[a-z][a-z0-9]*)+$`)
+
+// labelKeyRe is the snake_case label key shape.
+var labelKeyRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// labelPairRe matches one k="v" pair inside a preformatted label
+// string (v may contain format verbs or escaped quotes).
+var labelPairRe = regexp.MustCompile(`([A-Za-z0-9_.-]+)=(?:%q|"(?:[^"\\]|\\.)*")`)
+
+// emissionMethods are the promWriter methods whose first argument is a
+// metric name and (for sample/histogramSamples) second argument is a
+// preformatted label string.
+var emissionMethods = map[string]bool{"header": true, "sample": true, "histogramSamples": true}
+
+// MetricHygiene checks the hand-written Prometheus exposition: metric
+// name literals must match the documented catalog regex, label keys
+// must be snake_case, label values must never derive from request
+// input, and the per-request latency observation must keep the PR 4
+// exactly-once shape (observe only in admission-guarded functions,
+// deferred once, inline only immediately before a return).
+var MetricHygiene = &Analyzer{
+	Name:   "metrichygiene",
+	Doc:    "Prometheus names/labels must match the catalog; latency observed exactly once per admitted request",
+	Anchor: "metric-hygiene",
+	Run:    runMetricHygiene,
+}
+
+func runMetricHygiene(pass *Pass) error {
+	if !underAny(pass.PkgPath(), metricScope...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkEmissions(pass, fd)
+			checkObserveDiscipline(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkEmissions(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := staticCallee(pass.TypesInfo, call)
+		if fn == nil || !emissionMethods[fn.Name()] || !methodOnNamed(fn, pass.PkgPath(), "promWriter") {
+			return true
+		}
+		if len(call.Args) > 0 {
+			if name, ok := constString(pass, call.Args[0]); ok && !metricNameRe.MatchString(name) {
+				pass.Reportf(call.Args[0].Pos(),
+					"metric name %q does not match the catalog shape %s", name, metricNameRe)
+			}
+		}
+		if fn.Name() != "header" && len(call.Args) > 1 {
+			checkLabelArg(pass, call.Args[1])
+		}
+		return true
+	})
+}
+
+// checkLabelArg validates one preformatted label-string argument:
+// snake_case keys in any constant portion (including a Sprintf format
+// literal), and no value derived from request input.
+func checkLabelArg(pass *Pass, arg ast.Expr) {
+	lit := ""
+	if s, ok := constString(pass, arg); ok {
+		lit = s
+	} else if call, ok := ast.Unparen(arg).(*ast.CallExpr); ok &&
+		isPkgCall(pass.TypesInfo, call, "fmt", "Sprintf") && len(call.Args) > 0 {
+		if s, ok := constString(pass, call.Args[0]); ok {
+			lit = s
+		}
+	}
+	if lit != "" {
+		for _, m := range labelPairRe.FindAllStringSubmatch(lit, -1) {
+			if !labelKeyRe.MatchString(m[1]) {
+				pass.Reportf(arg.Pos(), "label key %q is not snake_case", m[1])
+			}
+		}
+	}
+	if id := requestDerived(pass, arg); id != nil {
+		pass.Reportf(arg.Pos(),
+			"label value derived from request input (%s): unbounded label cardinality; use a fixed enum", id.Name)
+	}
+}
+
+// requestDerived returns an identifier inside expr whose type comes
+// from the incoming HTTP request (the *http.Request itself, its
+// header map, or URL values), nil if none.
+func requestDerived(pass *Pass, expr ast.Expr) *ast.Ident {
+	var found *ast.Ident
+	ast.Inspect(expr, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found != nil {
+			return found == nil
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		t := obj.Type()
+		if isHTTPRequest(t) || isNamedIn(t, "net/http", "Header") || isNamedIn(t, "net/url", "Values") || isNamedIn(t, "net/url", "URL") {
+			found = id
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isNamedIn(t types.Type, pkgPath, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// checkObserveDiscipline guards the exactly-once latency observation:
+// every function calling (*metrics).observe must be on the admission
+// path (contain a call to admit, or to the cache-hit probe paired with
+// an immediate return), have at most one deferred observe, and any
+// inline observe must be the statement immediately before a return.
+func checkObserveDiscipline(pass *Pass, fd *ast.FuncDecl) {
+	type observeSite struct {
+		call     *ast.CallExpr
+		deferred bool
+	}
+	var sites []observeSite
+	hasAdmit := false
+
+	var walk func(n ast.Node, inDefer bool)
+	walk = func(n ast.Node, inDefer bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				walk(n.Call, true)
+				return false
+			case *ast.CallExpr:
+				fn := staticCallee(pass.TypesInfo, n)
+				if fn == nil {
+					return true
+				}
+				if fn.Name() == "observe" && methodOnNamed(fn, pass.PkgPath(), "metrics") {
+					sites = append(sites, observeSite{call: n, deferred: inDefer})
+				}
+				if fn.Name() == "admit" && fn.Pkg() == pass.Pkg {
+					hasAdmit = true
+				}
+			}
+			return true
+		})
+	}
+	walk(fd.Body, false)
+
+	if len(sites) == 0 {
+		return
+	}
+	// The observe method itself and the metrics plumbing are exempt:
+	// the discipline applies to request handlers.
+	if fd.Recv != nil && fd.Name.Name == "observe" {
+		return
+	}
+	if !hasAdmit {
+		pass.Reportf(sites[0].call.Pos(),
+			"latency observed outside an admission-guarded function; only admitted requests may observe")
+	}
+	deferredCount := 0
+	for _, s := range sites {
+		if s.deferred {
+			deferredCount++
+			continue
+		}
+		if !followedByReturn(fd, s.call) {
+			pass.Reportf(s.call.Pos(),
+				"inline latency observation must be immediately followed by return, or the deferred observation double-counts the request")
+		}
+	}
+	if deferredCount > 1 {
+		pass.Reportf(sites[0].call.Pos(),
+			"multiple deferred latency observations in one function break the exactly-once invariant")
+	}
+}
+
+// followedByReturn reports whether the statement containing call is
+// directly followed by a return statement in its enclosing block.
+func followedByReturn(fd *ast.FuncDecl, call *ast.CallExpr) bool {
+	ok := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		block, isBlock := n.(*ast.BlockStmt)
+		if !isBlock {
+			return true
+		}
+		for i, stmt := range block.List {
+			es, isExpr := stmt.(*ast.ExprStmt)
+			if !isExpr || !containsNode(es, call) {
+				continue
+			}
+			if i+1 < len(block.List) {
+				if _, isRet := block.List[i+1].(*ast.ReturnStmt); isRet {
+					ok = true
+				}
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+func containsNode(root ast.Node, target ast.Node) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// constString resolves expr to its compile-time constant string value.
+func constString(pass *Pass, expr ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

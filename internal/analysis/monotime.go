@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// monoHotScope is the span-recorder hot path: the query pipeline
+// already pays for an obs.Trace per query, so every duration there
+// must come from the trace (or the obs.Mono helpers), not from ad-hoc
+// time.Now()/time.Since() pairs that add clock reads and drift from
+// the recorded spans.
+var monoHotScope = []string{"ndss/internal/search"}
+
+// monoExempt is the helper package itself.
+var monoExempt = []string{"ndss/internal/obs"}
+
+// MonoTime enforces monotonic-timing discipline: no raw
+// time.Time.Sub anywhere in the module (wall-clock subtraction breaks
+// under clock steps once a Time loses its monotonic reading — use
+// time.Since or obs.Mono), and no time.Now/time.Since at all in the
+// span-recorder hot path, where durations must come from the reused
+// trace or the obs helpers.
+var MonoTime = &Analyzer{
+	Name:   "monotime",
+	Doc:    "durations via obs monotonic helpers: no time.Time.Sub; no time.Now/Since in the pipeline hot path",
+	Anchor: "monotime",
+	Run:    runMonoTime,
+}
+
+func runMonoTime(pass *Pass) error {
+	path := pass.PkgPath()
+	if underAny(path, monoExempt...) || !strings.HasPrefix(path, "ndss") {
+		return nil
+	}
+	hot := underAny(path, monoHotScope...)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := staticCallee(pass.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			if fn.Name() == "Sub" && methodOnNamed(fn, "time", "Time") {
+				pass.Reportf(call.Pos(),
+					"time.Time.Sub is wall-clock arithmetic once the monotonic reading is stripped; use time.Since or obs.Mono")
+			}
+			if hot && (isPkgCall(pass.TypesInfo, call, "time", "Now") ||
+				isPkgCall(pass.TypesInfo, call, "time", "Since")) {
+				pass.Reportf(call.Pos(),
+					"time.%s in the pipeline hot path; record durations through the query trace or obs.NowMono/obs.SinceMono",
+					fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+package search
+
+import (
+	"context"
+	"net/http"
+	"os"
+)
+
+// The sanctioned shape: context first, actually consulted before I/O.
+func ReadAllContext(ctx context.Context, path string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return os.ReadFile(path)
+}
+
+// An *http.Request carries the caller's context, so handlers are
+// cancellable without a separate parameter.
+func ServeDump(w http.ResponseWriter, r *http.Request) {
+	data, err := ReadAllContext(r.Context(), "dump")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	_, _ = w.Write(data)
+}
+
+// Unexported helpers may stay context-free; the exported entry points
+// above them carry the obligation.
+func readSmall(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+// Exported functions that do no I/O need no context.
+func Normalize(key string) string {
+	if key == "" {
+		return "default"
+	}
+	return key
+}

@@ -1,0 +1,24 @@
+// Fixture for the suppression directive itself, run under
+// fsiodiscipline at ndss/internal/index.
+package index
+
+import "os"
+
+// A justified directive suppresses the diagnostic on the next
+// statement.
+func suppressed(dir string) error {
+	//lint:ignore fsiodiscipline bootstrap path runs before the fsio seam exists
+	return os.MkdirAll(dir, 0o755)
+}
+
+// A directive for a different analyzer does not apply.
+func wrongAnalyzer(dir string) error {
+	//lint:ignore ctxflow not the analyzer reporting here
+	return os.MkdirAll(dir, 0o755) // want `direct os\.MkdirAll bypasses the fsio\.FS crash-safety seam`
+}
+
+// Naming several analyzers covers each of them.
+func multiName(dir string) error {
+	//lint:ignore fsiodiscipline,ctxflow bootstrap path predates both seams
+	return os.MkdirAll(dir, 0o755)
+}

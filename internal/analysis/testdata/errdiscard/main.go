@@ -1,0 +1,39 @@
+// Fixture for CLI error discipline (ndss/cmd/...): a bare statement
+// that drops an error makes the tool exit 0 on failure.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "fix:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	save("state")     // want `save returns an error that is silently discarded`
+	cleanup()         // fine: no error result
+	_ = save("state") // fine: explicit discard
+	fmt.Println("ok") // fine: terminal printing is allowlisted
+	n, err := write("x")
+	if err != nil {
+		return err
+	}
+	_ = n
+	return save("final")
+}
+
+func save(name string) error {
+	_ = name
+	return nil
+}
+
+func write(name string) (int, error) {
+	return len(name), nil
+}
+
+func cleanup() {}

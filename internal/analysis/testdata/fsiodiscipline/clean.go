@@ -1,0 +1,33 @@
+package index
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// fileLike stands in for fsio.File: operating on the seam's interface
+// is the sanctioned path.
+type fileLike interface {
+	io.WriteCloser
+	Sync() error
+}
+
+func writeThroughSeam(f fileLike, data []byte) error {
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Non-call uses of the os package (constants, error sentinels) are not
+// filesystem operations.
+func describe(err error) string {
+	if err == os.ErrNotExist {
+		return "missing"
+	}
+	return fmt.Sprintf("sep=%c err=%v", os.PathSeparator, err)
+}

@@ -1,0 +1,30 @@
+// Fixture: direct filesystem calls inside the index layer must be
+// flagged — they bypass the fsio crash-safety seam.
+package index
+
+import (
+	"os"
+	"path/filepath"
+)
+
+func writeDirect(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil { // want `direct os\.MkdirAll bypasses the fsio\.FS crash-safety seam`
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "x")) // want `direct os\.Create bypasses the fsio\.FS crash-safety seam`
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil { // want `direct \(\*os\.File\)\.Sync bypasses the fsio\.File seam`
+		return err
+	}
+	return f.Close() // want `direct \(\*os\.File\)\.Close bypasses the fsio\.File seam`
+}
+
+func listDirect(dir string) ([]string, error) {
+	return filepath.Glob(filepath.Join(dir, "*.list")) // want `direct filepath\.Glob bypasses the fsio\.FS crash-safety seam`
+}
+
+func readDirect(path string) ([]byte, error) {
+	return os.ReadFile(path) // want `direct os\.ReadFile bypasses the fsio\.FS crash-safety seam`
+}

@@ -1,0 +1,38 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// Catalog-shaped names, snake_case keys, enum-valued labels.
+func writeCatalog(w *promWriter, outcome string) {
+	w.header("ndss_requests_total", "requests by outcome", "counter")
+	w.sample("ndss_requests_total", fmt.Sprintf(`endpoint=%q,outcome=%q`, "search", outcome), 1)
+	w.header("go_goroutines", "goroutine count", "gauge")
+	w.histogramSamples("ndss_request_seconds", `endpoint="search"`, nil)
+}
+
+// The sanctioned handler shape: admit, then one deferred observation.
+func (s *server) serveDeferred(w http.ResponseWriter) {
+	if !s.admit() {
+		http.Error(w, "busy", http.StatusServiceUnavailable)
+		return
+	}
+	ok := true
+	defer s.met.observe(ok)
+	w.WriteHeader(http.StatusOK)
+}
+
+// An inline observation immediately before return is the cache-hit
+// fast path.
+func (s *server) serveCacheHit(hit bool) {
+	if !s.admit() {
+		return
+	}
+	if hit {
+		s.met.observe(true)
+		return
+	}
+	defer s.met.observe(false)
+}

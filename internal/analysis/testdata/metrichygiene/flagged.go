@@ -1,0 +1,49 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// Metric names must match the documented catalog shape.
+func writeBadNames(w *promWriter) {
+	w.header("ndss_requestTotal", "requests", "counter") // want `metric name "ndss_requestTotal" does not match the catalog shape`
+	w.sample("http_requests_total", `outcome="ok"`, 1)   // want `metric name "http_requests_total" does not match the catalog shape`
+}
+
+// Label keys are snake_case.
+func writeBadLabel(w *promWriter, outcome string) {
+	w.sample("ndss_requests_total", fmt.Sprintf(`Outcome=%q`, outcome), 1) // want `label key "Outcome" is not snake_case`
+}
+
+// Label values must never come from request input: every distinct URL
+// would mint a new series.
+func writeTainted(w *promWriter, r *http.Request) {
+	w.sample("ndss_requests_total", fmt.Sprintf(`path=%q`, r.URL.Path), 1) // want `label value derived from request input \(r\)`
+}
+
+// Observing latency without admitting breaks the exactly-once pairing
+// with the in-flight gate.
+func (s *server) serveUnadmitted(ok bool) {
+	defer s.met.observe(ok) // want `latency observed outside an admission-guarded function`
+}
+
+// An inline observe not immediately followed by return double-counts
+// once the deferred observation also fires.
+func (s *server) serveDoubleCount(w http.ResponseWriter) {
+	if !s.admit() {
+		return
+	}
+	s.met.observe(true) // want `inline latency observation must be immediately followed by return`
+	w.WriteHeader(http.StatusOK)
+}
+
+// Two deferred observations can both fire; the diagnostic lands on the
+// first observe site.
+func (s *server) serveTwoDeferred() {
+	if !s.admit() {
+		return
+	}
+	defer s.met.observe(true) // want `multiple deferred latency observations in one function`
+	defer s.met.observe(false)
+}

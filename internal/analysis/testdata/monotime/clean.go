@@ -1,0 +1,20 @@
+package search
+
+import (
+	"time"
+
+	"ndss/internal/obs"
+)
+
+// Durations through the obs monotonic helpers are the sanctioned path
+// in the hot scope.
+func timeStageMono() time.Duration {
+	start := obs.NowMono()
+	work()
+	return obs.SinceMono(start)
+}
+
+// Plain duration arithmetic never involves the wall clock.
+func budgetLeft(total, spent time.Duration) time.Duration {
+	return total - spent
+}

@@ -1,0 +1,17 @@
+// Fixture for the pipeline hot scope (ndss/internal/search): ad-hoc
+// clock reads and wall-clock subtraction are both flagged.
+package search
+
+import "time"
+
+func timeStage() time.Duration {
+	start := time.Now() // want `time\.Now in the pipeline hot path`
+	work()
+	return time.Since(start) // want `time\.Since in the pipeline hot path`
+}
+
+func wallClockDelta(t0, t1 time.Time) time.Duration {
+	return t1.Sub(t0) // want `time\.Time\.Sub is wall-clock arithmetic`
+}
+
+func work() {}

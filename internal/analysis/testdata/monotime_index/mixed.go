@@ -1,0 +1,18 @@
+// Fixture for a non-hot module package (ndss/internal/index): plain
+// time.Now/time.Since are fine, but time.Time.Sub stays banned
+// module-wide.
+package index
+
+import "time"
+
+func timedBuild() time.Duration {
+	start := time.Now()
+	build()
+	return time.Since(start)
+}
+
+func buildDelta(t0, t1 time.Time) time.Duration {
+	return t1.Sub(t0) // want `time\.Time\.Sub is wall-clock arithmetic`
+}
+
+func build() {}

@@ -1,0 +1,32 @@
+package search
+
+// The sanctioned shape: deferred Put right after the Get.
+func deferredPut(n int) int {
+	b, _ := bufPool.Get().([]byte)
+	defer bufPool.Put(b[:0])
+	if n < 0 {
+		return 0
+	}
+	b = append(b[:0], make([]byte, n)...)
+	return len(b)
+}
+
+// getBuf is an acquire helper: the Get result escapes to the caller,
+// which takes over the Put obligation.
+func getBuf() []byte {
+	b, _ := bufPool.Get().([]byte)
+	return b
+}
+
+// putBuf is the matching release helper.
+func putBuf(b []byte) {
+	bufPool.Put(b[:0])
+}
+
+// Helper pairs satisfy the obligation when the release is deferred.
+func useHelpersDeferred() int {
+	b := getBuf()
+	defer putBuf(b)
+	b = append(b, 1, 2, 3)
+	return len(b)
+}

@@ -1,0 +1,34 @@
+// Fixture for sync.Pool pairing in the query path
+// (ndss/internal/search): every Get needs a dominating deferred Put.
+package search
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { return make([]byte, 0, 64) }}
+
+// A Put on the fall-through path leaks the buffer on early returns and
+// panics; it must be deferred.
+func inlinePut(n int) int {
+	b, _ := bufPool.Get().([]byte)
+	if n < 0 {
+		return 0 // leaks b
+	}
+	b = append(b[:0], make([]byte, n)...)
+	total := len(b)
+	bufPool.Put(b[:0]) // want `sync\.Pool Put must be deferred`
+	return total
+}
+
+// No Put at all.
+func noPut() []byte {
+	b, _ := bufPool.Get().([]byte) // want `sync\.Pool Get without a deferred Put or release`
+	out := append([]byte(nil), b...)
+	return out
+}
+
+// Calling an acquire helper creates the same obligation as a direct
+// Get.
+func useAcquireHelper() int {
+	b := getBuf() // want `object acquired from getBuf without a deferred Put or release`
+	return cap(b)
+}

@@ -1,0 +1,9 @@
+// Fixture with an fsio violation but loaded under a non-index import
+// path: scope gating must keep the analyzer silent here.
+package window
+
+import "os"
+
+func writeOutsideScope(path string) error {
+	return os.WriteFile(path, []byte("x"), 0o644)
+}

@@ -10,6 +10,7 @@ import (
 	"ndss/internal/corpus"
 	"ndss/internal/fsio"
 	"ndss/internal/hash"
+	"ndss/internal/obs"
 	"ndss/internal/window"
 )
 
@@ -169,7 +170,7 @@ func buildExternalFunc(r *corpus.Reader, fsys fsio.FS, dir string, fn int, f has
 	var vals []uint64
 	var ws []window.Window
 	streamErr := r.Stream(opts.BatchTokens, func(firstID uint32, texts [][]uint32) error {
-		genStart := time.Now()
+		genStart := obs.NowMono()
 		for i, tokens := range texts {
 			if len(tokens) < opts.T {
 				continue
@@ -177,7 +178,7 @@ func buildExternalFunc(r *corpus.Reader, fsys fsio.FS, dir string, fn int, f has
 			vals = window.Hashes(tokens, f, vals)
 			ws = window.GenerateLinear(vals, opts.T, ws[:0])
 			id := firstID + uint32(i)
-			genDone := time.Now()
+			genDone := obs.NowMono()
 			stats.GenTime += genDone.Sub(genStart)
 			for _, w := range ws {
 				rec := record{
@@ -195,10 +196,10 @@ func buildExternalFunc(r *corpus.Reader, fsys fsio.FS, dir string, fn int, f has
 				stats.WindowsPerFunc[fn]++
 				stats.Windows++
 			}
-			genStart = time.Now()
+			genStart = obs.NowMono()
 			stats.IOTime += genStart.Sub(genDone) // spill writes are I/O
 		}
-		stats.GenTime += time.Since(genStart)
+		stats.GenTime += obs.SinceMono(genStart)
 		return nil
 	})
 	if streamErr != nil {

@@ -93,6 +93,13 @@ func readManifest(fsys fsio.FS, dir string) (*Manifest, error) {
 	if err != nil {
 		return nil, fmt.Errorf("index: read manifest: %w", err)
 	}
+	return parseManifest(data)
+}
+
+// parseManifest decodes and validates manifest bytes. It is pure (no
+// I/O) and total: any input — torn, corrupt, or adversarial — yields a
+// validated *Manifest or an error, never a panic.
+func parseManifest(data []byte) (*Manifest, error) {
 	var m Manifest
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, fmt.Errorf("index: parse manifest (truncated or corrupt): %w", err)

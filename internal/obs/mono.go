@@ -1,0 +1,39 @@
+package obs
+
+import "time"
+
+// Mono is a reading of the process-local monotonic clock. Durations
+// between two Mono readings are immune to wall-clock steps (NTP slews,
+// manual clock changes), which matters for the latency accounting in
+// the query pipeline: a negative or wildly large stage duration would
+// poison the Fig. 6 stage-attribution tables.
+//
+// The rest of the module is expected to time hot paths with
+// NowMono/SinceMono/Mono.Sub instead of subtracting time.Time values;
+// the monotime analyzer in internal/analysis enforces this.
+type Mono time.Duration
+
+// monoBase anchors Mono readings. time.Now carries a monotonic
+// component, so differences against monoBase are monotonic durations.
+var monoBase = time.Now()
+
+// NowMono returns the current monotonic clock reading.
+func NowMono() Mono {
+	return Mono(time.Since(monoBase))
+}
+
+// SinceMono returns the elapsed time since an earlier NowMono reading.
+func SinceMono(start Mono) time.Duration {
+	return time.Duration(NowMono() - start)
+}
+
+// Sub returns the duration m-earlier as a time.Duration.
+func (m Mono) Sub(earlier Mono) time.Duration {
+	return time.Duration(m - earlier)
+}
+
+// Duration converts a Mono reading (itself a duration since the
+// process-local base) to a plain time.Duration.
+func (m Mono) Duration() time.Duration {
+	return time.Duration(m)
+}

@@ -1,0 +1,24 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMonoHelpers(t *testing.T) {
+	a := NowMono()
+	time.Sleep(time.Millisecond)
+	b := NowMono()
+	if b <= a {
+		t.Fatalf("monotonic clock went backwards: %d then %d", a, b)
+	}
+	if d := b.Sub(a); d <= 0 || d > time.Minute {
+		t.Fatalf("Sub(%d, %d) = %v", b, a, d)
+	}
+	if d := SinceMono(a); d < b.Sub(a) {
+		t.Fatalf("SinceMono(%d) = %v, earlier reading measured %v", a, d, b.Sub(a))
+	}
+	if got := Mono(25 * time.Millisecond).Duration(); got != 25*time.Millisecond {
+		t.Fatalf("Duration() = %v", got)
+	}
+}

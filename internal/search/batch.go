@@ -35,6 +35,8 @@ func BatchStageTimes(results []BatchResult) (total StageTimes, n int) {
 // stats sink, so each result's Stats.IOBytes/IOTime/CPUTime are exact
 // for that query at any parallelism; summed over the batch they equal
 // the index-wide IOStats delta.
+//
+//lint:ignore ctxflow documented compatibility wrapper; cancellable callers use SearchBatchContext
 func (s *Searcher) SearchBatch(queries [][]uint32, opts Options, parallelism int) []BatchResult {
 	return s.SearchBatchContext(context.Background(), queries, opts, parallelism)
 }

@@ -381,6 +381,7 @@ func (s *Searcher) Explain(query []uint32, opts Options) (*Plan, error) {
 	if beta < 1 {
 		beta = 1
 	}
+	//lint:ignore ctxflow Explain only sketches and plans; it issues no I/O to cancel
 	qc := s.acquireCtx(context.Background(), opts, minLen, beta, &Stats{K: k, Beta: beta})
 	defer s.releaseCtx(qc)
 	if err := s.stageSketch(qc, query); err != nil {

@@ -294,6 +294,8 @@ type taggedWindow struct {
 // (Algorithm 3). Results are grouped per text into disjoint merged
 // spans, ordered by (TextID, Start). It is SearchContext without
 // cancellation.
+//
+//lint:ignore ctxflow documented compatibility wrapper; cancellable callers use SearchContext
 func (s *Searcher) Search(query []uint32, opts Options) ([]Match, *Stats, error) {
 	return s.SearchContext(context.Background(), query, opts)
 }
@@ -309,7 +311,7 @@ func (s *Searcher) Search(query []uint32, opts Options) ([]Match, *Stats, error)
 // SearchContext itself only orchestrates the stages and assembles
 // Stats.
 func (s *Searcher) SearchContext(ctx context.Context, query []uint32, opts Options) ([]Match, *Stats, error) {
-	start := time.Now()
+	start := obs.NowMono()
 	minLen, err := opts.validate(s.ix.Meta(), s.src != nil)
 	if err != nil {
 		return nil, nil, err
@@ -367,7 +369,7 @@ func (s *Searcher) SearchContext(ctx context.Context, query []uint32, opts Optio
 	st.Matches = len(matches)
 	st.IOBytes = qc.io.BytesRead
 	st.IOTime = qc.io.ReadTime
-	st.Total = time.Since(start)
+	st.Total = obs.SinceMono(start)
 	st.CPUTime = st.Total - st.IOTime
 	if opts.Trace {
 		st.Spans = qc.trace.Snapshot(nil)

@@ -4,7 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"time"
+
+	"ndss/internal/obs"
 )
 
 // TopKOptions configures SearchTopK.
@@ -25,6 +26,8 @@ type TopKOptions struct {
 // position). It runs one search at FloorTheta and ranks the merged
 // spans by their collision counts, so its cost equals a single
 // low-threshold query.
+//
+//lint:ignore ctxflow documented compatibility wrapper; cancellable callers use SearchTopKContext
 func (s *Searcher) SearchTopK(query []uint32, opts TopKOptions) ([]Match, *Stats, error) {
 	return s.SearchTopKContext(context.Background(), query, opts)
 }
@@ -51,7 +54,7 @@ func (s *Searcher) SearchTopKContext(ctx context.Context, query []uint32, opts T
 	// The ranking sort below runs after SearchContext closed its timing,
 	// so charge it explicitly: Total/CPUTime stay the query's true cost
 	// and the merge stage absorbs the rank time in the decomposition.
-	rankStart := time.Now()
+	rankStart := obs.NowMono()
 	sort.Slice(matches, func(i, j int) bool {
 		if matches[i].Collisions != matches[j].Collisions {
 			return matches[i].Collisions > matches[j].Collisions
@@ -64,7 +67,7 @@ func (s *Searcher) SearchTopKContext(ctx context.Context, query []uint32, opts T
 	if len(matches) > opts.N {
 		matches = matches[:opts.N]
 	}
-	rank := time.Since(rankStart)
+	rank := obs.SinceMono(rankStart)
 	st.Total += rank
 	st.CPUTime += rank
 	st.StageTimes.Merge += rank

@@ -1,6 +1,8 @@
 package window
 
 import (
+	"bytes"
+	"encoding/binary"
 	"testing"
 
 	"ndss/internal/rmq"
@@ -63,6 +65,58 @@ func FuzzGenerateLinear(f *testing.F) {
 					t.Fatalf("sequence [%d, %d] covered %d times", i, j, covered)
 				}
 			}
+		}
+	})
+}
+
+// FuzzCompactWindows cross-checks Algorithm 2's divide-and-conquer
+// recursion against the O(n) monotonic-stack generator on wide-range
+// hash values (8 bytes per value, so ties are rare and the Cartesian
+// tree is deep and skewed). The two implementations must emit the same
+// window multiset for every input, independent of the RMQ backing the
+// recursion.
+func FuzzCompactWindows(f *testing.F) {
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}, uint8(2))
+	f.Add(bytes.Repeat([]byte{0xab}, 64), uint8(3)) // all-equal values
+	f.Add([]byte("ascending hash values make a right spine"), uint8(4))
+	f.Fuzz(func(t *testing.T, raw []byte, tRaw uint8) {
+		if len(raw) > 512 {
+			raw = raw[:512]
+		}
+		tt := int(tRaw%32) + 1
+		n := len(raw) / 8
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = binary.LittleEndian.Uint64(raw[i*8:])
+		}
+		ref := GenerateLinear(vals, tt, nil)
+		refSet := map[Window]int{}
+		for _, w := range ref {
+			refSet[w]++
+		}
+		for name, ctor := range map[string]func([]uint64) rmq.RMQ{
+			"linear":  func(x []uint64) rmq.RMQ { return rmq.NewLinear(x) },
+			"segtree": func(x []uint64) rmq.RMQ { return rmq.NewSegmentTree(x) },
+		} {
+			ws := Generate(vals, tt, ctor, nil)
+			if len(ws) != len(ref) {
+				t.Fatalf("%s: %d windows, stack generator emitted %d", name, len(ws), len(ref))
+			}
+			seen := map[Window]int{}
+			for _, w := range ws {
+				seen[w]++
+			}
+			for w, c := range refSet {
+				if seen[w] != c {
+					t.Fatalf("%s: window %v count %d, want %d", name, w, seen[w], c)
+				}
+			}
+		}
+		// Sanity bound: a compact window exists iff the text is long
+		// enough, and there are at most n of them.
+		if (n >= tt) != (len(ref) > 0) || len(ref) > n {
+			t.Fatalf("%d windows for n=%d t=%d", len(ref), n, tt)
 		}
 	})
 }
