@@ -6,18 +6,32 @@
 // By default the corpus is loaded into memory (Algorithm 1's main path);
 // -external switches to the out-of-core hash-aggregation builder for
 // corpora larger than memory.
+//
+// Segment-set maintenance runs through subcommands:
+//
+//	ndss-index list idx      print the segments in an index's manifest
+//	ndss-index compact idx   merge the segment set into one segment
+//	ndss-index verify idx    validate checksums over every segment file
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"ndss/internal/corpus"
 	"ndss/internal/index"
 )
 
 func main() {
+	if len(os.Args) > 1 && !strings.HasPrefix(os.Args[1], "-") {
+		if err := runSubcommand(os.Args[1], os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "ndss-index:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	corpusPath := flag.String("corpus", "", "corpus file (required)")
 	out := flag.String("out", "idx", "output index directory")
 	k := flag.Int("k", 32, "number of min-hash functions")
@@ -46,6 +60,69 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ndss-index:", err)
 		os.Exit(1)
 	}
+}
+
+// runSubcommand dispatches the segment-maintenance verbs. Each takes
+// the index directory as its sole argument.
+func runSubcommand(verb string, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: ndss-index %s <index-dir>", verb)
+	}
+	dir := args[0]
+	switch verb {
+	case "list":
+		return runList(dir)
+	case "compact":
+		return runCompact(dir)
+	case "verify":
+		return runCheck(dir)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want list, compact or verify)", verb)
+	}
+}
+
+// runList prints one line per segment in the index's manifest.
+func runList(dir string) error {
+	ix, err := index.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+	segs := ix.Segments()
+	fmt.Printf("index %s: build %s, %d segment(s)\n", dir, ix.BuildID(), len(segs))
+	for _, s := range segs {
+		name := s.Name
+		if name == "" {
+			name = "(root)"
+		}
+		fmt.Printf("  %-12s base=%-8d texts=%-8d tokens=%-10d postings=%-10d bytes=%-10d tombstoned=%d\n",
+			name, s.Base, s.NumTexts, s.TotalTokens, s.Postings, s.SizeOnDisk, s.Tombstoned)
+	}
+	return nil
+}
+
+// runCompact merges the segment set into a single segment, dropping
+// tombstoned texts, and reports the before/after shape.
+func runCompact(dir string) error {
+	ix, err := index.Open(dir)
+	if err != nil {
+		return err
+	}
+	before := ix.SegmentCount()
+	if err := ix.Close(); err != nil {
+		return err
+	}
+	if err := index.Compact(dir); err != nil {
+		return err
+	}
+	ix, err = index.Open(dir)
+	if err != nil {
+		return fmt.Errorf("reopen compacted index: %w", err)
+	}
+	defer ix.Close()
+	fmt.Printf("compacted %s: %d segment(s) -> %d (build %s)\n",
+		dir, before, ix.SegmentCount(), ix.BuildID())
+	return nil
 }
 
 // runCheck opens the index and validates checksums over every inverted

@@ -15,6 +15,12 @@
 //	GET  /debug/slowlog the slow-query flight recorder: stage-annotated
 //	                   traces of the slowest and most recent queries
 //	POST /admin/reload reopen the index directory and hot-swap to it
+//	POST /ingest       {"texts":[[...],...]} append texts as a new index
+//	                   segment and hot-swap; searchable on return
+//	                   (requires -ingest)
+//	POST /admin/compact merge the index's segment set into one segment,
+//	                   dropping deleted texts, then hot-swap
+//	                   (requires -ingest)
 //
 // Requests are bounded by an admission semaphore (-max-inflight; excess
 // returns 429) and a per-request deadline (the request's timeout_ms
@@ -35,6 +41,12 @@
 // or SIGHUP swaps the server onto the new build with zero failed
 // requests: queries in flight finish on the old index while new ones
 // already run against the new one.
+//
+// With -ingest, POST /ingest appends texts to the index as an immutable
+// segment and hot-swaps the same way — the live segments are never
+// rewritten, so ingest is cheap and crash-safe. Once the segment set
+// grows past -compact-after, a background compaction merges it back to
+// one segment; POST /admin/compact triggers one on demand.
 package main
 
 import (
@@ -51,6 +63,7 @@ import (
 
 	"ndss/internal/core"
 	"ndss/internal/corpus"
+	"ndss/internal/index"
 	"ndss/internal/search"
 	"ndss/internal/server"
 )
@@ -69,6 +82,9 @@ type serveConfig struct {
 	slowlog   int
 	debugAddr string
 	logFormat string
+
+	ingest       bool
+	compactAfter int
 }
 
 func main() {
@@ -85,6 +101,8 @@ func main() {
 	flag.IntVar(&c.slowlog, "slowlog", 32, "flight recorder entries per view at /debug/slowlog (0 disables)")
 	flag.StringVar(&c.debugAddr, "debug-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	flag.StringVar(&c.logFormat, "log", "text", "log format: text or json")
+	flag.BoolVar(&c.ingest, "ingest", false, "enable POST /ingest and /admin/compact (live segment appends)")
+	flag.IntVar(&c.compactAfter, "compact-after", 8, "with -ingest, auto-compact once the index exceeds this many segments (0 disables)")
 	flag.Parse()
 
 	if err := run(c); err != nil {
@@ -184,7 +202,7 @@ func run(c serveConfig) error {
 	if slowlog == 0 {
 		slowlog = -1
 	}
-	srv := server.New(backend, server.Config{
+	scfg := server.Config{
 		MaxInFlight:        c.maxInFlight,
 		DefaultTimeout:     c.timeout,
 		MaxTimeout:         c.maxTimeout,
@@ -195,7 +213,15 @@ func run(c serveConfig) error {
 		Reloader: func() (server.Backend, error) {
 			return openBackend(c.idxDir, c.corpusPath)
 		},
-	})
+	}
+	if c.ingest {
+		scfg.Ingester = func(texts [][]uint32) error {
+			return index.Append(c.idxDir, corpus.New(texts))
+		}
+		scfg.Compactor = func() error { return index.Compact(c.idxDir) }
+		scfg.CompactAfter = c.compactAfter
+	}
+	srv := server.New(backend, scfg)
 	hs := &http.Server{
 		Addr:              c.addr,
 		Handler:           srv,

@@ -31,3 +31,31 @@ func describe(err error) string {
 	}
 	return fmt.Sprintf("sep=%c err=%v", os.PathSeparator, err)
 }
+
+// fsLike stands in for fsio.FS: the compactor's staging swap and
+// segment sweep are sanctioned when they run through the seam.
+type fsLike interface {
+	Rename(old, new string) error
+	RemoveAll(path string) error
+	Glob(pattern string) ([]string, error)
+	SyncDir(dir string) error
+}
+
+func compactThroughSeam(fsys fsLike, dir, staging string) error {
+	if err := fsys.Rename(staging, dir); err != nil {
+		return err
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return err
+	}
+	segs, err := fsys.Glob(dir + "/seg-*")
+	if err != nil {
+		return err
+	}
+	for _, s := range segs {
+		if err := fsys.RemoveAll(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -28,3 +28,26 @@ func listDirect(dir string) ([]string, error) {
 func readDirect(path string) ([]byte, error) {
 	return os.ReadFile(path) // want `direct os\.ReadFile bypasses the fsio\.FS crash-safety seam`
 }
+
+// The compactor's staging-swap and segment-sweep idioms must also run
+// through the seam: a direct rename skips the backup/sync protocol and
+// a direct sweep can delete a segment the manifest still references.
+func swapDirect(dir, staging string) error {
+	if err := os.Rename(staging, dir); err != nil { // want `direct os\.Rename bypasses the fsio\.FS crash-safety seam`
+		return err
+	}
+	return nil
+}
+
+func sweepDirect(dir string) error {
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*")) // want `direct filepath\.Glob bypasses the fsio\.FS crash-safety seam`
+	if err != nil {
+		return err
+	}
+	for _, s := range segs {
+		if err := os.RemoveAll(s); err != nil { // want `direct os\.RemoveAll bypasses the fsio\.FS crash-safety seam`
+			return err
+		}
+	}
+	return os.Remove(filepath.Join(dir, "tomb-000000-x")) // want `direct os\.Remove bypasses the fsio\.FS crash-safety seam`
+}

@@ -94,6 +94,10 @@ func (e *Engine) Meta() index.Meta { return e.ix.Meta() }
 // pre-manifest indexes).
 func (e *Engine) BuildID() string { return e.ix.BuildID() }
 
+// SegmentCount reports how many immutable segments back this engine's
+// index (1 until appends grow the set; compaction folds it back to 1).
+func (e *Engine) SegmentCount() int { return e.ix.SegmentCount() }
+
 // Family returns the hash family queries are sketched with.
 func (e *Engine) Family() *hash.Family { return e.ix.Family() }
 

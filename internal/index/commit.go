@@ -92,6 +92,39 @@ func sweepOrphans(fsys fsio.FS, dir string) error {
 	return nil
 }
 
+// sweepSegments removes segment-lifecycle artifacts inside dir that the
+// manifest does not reference: segment directories left by a crash
+// between segment commit and manifest commit (including their staging
+// and backup leftovers), interrupted manifest/meta replacements, and
+// retired tombstone bitmaps. Everything the manifest names is kept, so
+// the sweep is safe at any point a mutation is not in flight.
+func sweepSegments(fsys fsio.FS, dir string, m *Manifest) error {
+	ref := make(map[string]bool, 2*len(m.Segments))
+	for _, s := range m.Segments {
+		if s.Name != "" {
+			ref[s.Name] = true
+		}
+		if s.Tomb != nil {
+			ref[s.Tomb.Name] = true
+		}
+	}
+	for _, pattern := range []string{"seg-*", "tomb-*", manifestTmpPattern, metaFileName + ".tmp-*"} {
+		stale, err := fsys.Glob(filepath.Join(dir, pattern))
+		if err != nil {
+			return err
+		}
+		for _, s := range stale {
+			if ref[filepath.Base(s)] {
+				continue
+			}
+			if err := fsys.RemoveAll(s); err != nil {
+				return fmt.Errorf("index: sweep stale segment artifact %s: %w", s, err)
+			}
+		}
+	}
+	return nil
+}
+
 // recoverBackup resolves a leftover "<dir>.old" from an interrupted
 // commit swap. If dir is absent the backup is the only surviving
 // index and is restored; if dir exists the commit completed and the

@@ -129,8 +129,11 @@ func TestManifestRoundTripAfterBuild(t *testing.T) {
 	if man == nil {
 		t.Fatal("no manifest on a freshly built index")
 	}
-	if len(man.Files) != ix.K() {
-		t.Fatalf("manifest lists %d files for k=%d", len(man.Files), ix.K())
+	if len(man.Segments) != 1 || man.Segments[0].Name != "" {
+		t.Fatalf("fresh build should commit a single root segment, got %+v", man.Segments)
+	}
+	if len(man.Segments[0].Files) != ix.K() {
+		t.Fatalf("manifest lists %d files for k=%d", len(man.Segments[0].Files), ix.K())
 	}
 	if err := ix.VerifyIntegrity(); err != nil {
 		t.Fatalf("clean index failed integrity: %v", err)
@@ -159,7 +162,7 @@ func TestManifestSizeMismatchRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	man.Files[0].Size += 16
+	man.Segments[0].Files[0].Size += 16
 	data, err := json.Marshal(man)
 	if err != nil {
 		t.Fatal(err)

@@ -271,6 +271,139 @@ func TestAppendCrashLoop(t *testing.T) {
 	}
 }
 
+// segmentedFixture builds a base index, appends a segment, and deletes
+// one text — the richest segment-set state the lifecycle mutations
+// start from.
+func segmentedFixture(t *testing.T, dir string) (old fingerprint, numTexts int) {
+	t.Helper()
+	base := testCorpus(t, 12, 30, 60, 100, 7)
+	extra := testCorpus(t, 8, 30, 60, 100, 9)
+	opts := BuildOptions{K: 2, Seed: 3, T: 10, Parallelism: 1}
+	if _, err := Build(base, dir, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := Append(dir, extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := Delete(dir, []uint32{3}); err != nil {
+		t.Fatal(err)
+	}
+	return openAndFingerprint(t, dir), base.NumTexts() + extra.NumTexts()
+}
+
+// TestCompactCrashLoop kills the compactor at every mutating op in
+// turn: the directory must afterwards hold the old segment set or the
+// new single segment — never a mix — and a retry must finish the job.
+func TestCompactCrashLoop(t *testing.T) {
+	dry := filepath.Join(t.TempDir(), "ix")
+	segmentedFixture(t, dry)
+	counter := fsio.NewFaultFS(fsio.OS)
+	if err := compactFS(counter, dry); err != nil {
+		t.Fatal(err)
+	}
+	total := counter.Ops()
+	if total < 10 {
+		t.Fatalf("suspiciously few crash points: %d", total)
+	}
+
+	for n := 1; n <= total; n++ {
+		dir := filepath.Join(t.TempDir(), "ix")
+		old, numTexts := segmentedFixture(t, dir)
+		ffs := fsio.NewFaultFS(fsio.OS).FailAt(n)
+		if err := compactFS(ffs, dir); err == nil {
+			got := openAndFingerprint(t, dir)
+			if got.numTexts != numTexts {
+				t.Fatalf("op %d: silent success with wrong index %+v", n, got)
+			}
+			continue
+		}
+		got := openAndFingerprint(t, dir)
+		switch {
+		case got == old:
+			// Old segment set intact.
+		case got.buildID != old.buildID && got.numTexts == numTexts:
+			// Fully committed compaction.
+		default:
+			t.Fatalf("op %d: mixed state after compact crash: old %+v, got %+v", n, old, got)
+		}
+
+		// A retry on the recovered directory must compact to one segment.
+		if err := Compact(dir); err != nil {
+			t.Fatalf("op %d: compact after crash: %v", n, err)
+		}
+		ix, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ix.SegmentCount() != 1 {
+			t.Fatalf("op %d: retry left %d segments", n, ix.SegmentCount())
+		}
+		ix.Close()
+	}
+}
+
+// TestDeleteCrashLoop kills the tombstone commit at every mutating op:
+// the manifest must afterwards name the pre-delete state or the
+// post-delete state, and a retried delete must land.
+func TestDeleteCrashLoop(t *testing.T) {
+	victims := []uint32{1, 15}
+
+	dry := filepath.Join(t.TempDir(), "ix")
+	segmentedFixture(t, dry)
+	counter := fsio.NewFaultFS(fsio.OS)
+	if err := deleteFS(counter, dry, victims); err != nil {
+		t.Fatal(err)
+	}
+	total := counter.Ops()
+	if total < 5 {
+		t.Fatalf("suspiciously few crash points: %d", total)
+	}
+
+	tombstoned := func(t *testing.T, dir string) (string, int) {
+		t.Helper()
+		ix, err := Open(dir)
+		if err != nil {
+			t.Fatalf("index did not survive delete crash: %v", err)
+		}
+		defer ix.Close()
+		n := 0
+		for _, s := range ix.Segments() {
+			n += s.Tombstoned
+		}
+		return ix.BuildID(), n
+	}
+
+	for n := 1; n <= total; n++ {
+		dir := filepath.Join(t.TempDir(), "ix")
+		old, _ := segmentedFixture(t, dir)
+		before := 1 // segmentedFixture deletes one text
+		want := before + len(victims)
+		if err := deleteFS(fsio.NewFaultFS(fsio.OS).FailAt(n), dir, victims); err == nil {
+			if _, got := tombstoned(t, dir); got != want {
+				t.Fatalf("op %d: silent success with %d tombstones, want %d", n, got, want)
+			}
+			continue
+		}
+		id, got := tombstoned(t, dir)
+		switch {
+		case id == old.buildID && got == before:
+			// Pre-delete state intact.
+		case id != old.buildID && got == want:
+			// Fully committed delete.
+		default:
+			t.Fatalf("op %d: mixed state after delete crash: build %q tombstones %d", n, id, got)
+		}
+
+		// Retry must land the delete regardless of where the crash hit.
+		if err := Delete(dir, victims); err != nil {
+			t.Fatalf("op %d: delete after crash: %v", n, err)
+		}
+		if _, got := tombstoned(t, dir); got != want {
+			t.Fatalf("op %d: retry left %d tombstones, want %d", n, got, want)
+		}
+	}
+}
+
 // TestBuildShardedCrashSurvives spot-checks the sharded builder's
 // commit: crashes spread over its op range must leave the old index
 // openable or the new one fully committed.

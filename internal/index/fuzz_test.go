@@ -2,6 +2,7 @@ package index
 
 import (
 	"encoding/json"
+	"reflect"
 	"testing"
 )
 
@@ -21,8 +22,16 @@ func FuzzManifestParse(f *testing.F) {
 	f.Add(valid)
 	f.Add(valid[:len(valid)/2]) // torn write
 	f.Add([]byte("{}"))
+	// Version-1 (pre-segment) shapes: normalized or rejected, never panicking.
+	f.Add([]byte(`{"format_version":1,"build_id":"x","meta":{"k":1,"t":2},"files":[{"name":"index.000","size":64}]}`))
 	f.Add([]byte(`{"format_version":1,"build_id":"x","meta":{"k":1,"t":2},"files":[{}]}`))
 	f.Add([]byte(`{"format_version":1,"build_id":"x","meta":{"k":-1,"t":2}}`))
+	// Multi-segment and tombstoned shapes.
+	f.Add([]byte(`{"format_version":2,"build_id":"x","meta":{"k":1,"t":2,"seed":3,"num_texts":5},` +
+		`"segments":[{"name":"","meta":{"k":1,"t":2,"seed":3,"num_texts":2},"files":[{"name":"index.000"}]},` +
+		`{"name":"seg-000001","meta":{"k":1,"t":2,"seed":3,"num_texts":3},"files":[{"name":"index.000"}],` +
+		`"tombstone":{"name":"tomb-seg-000001-ab","deleted":1,"crc32":9}}]}`))
+	f.Add([]byte(`{"format_version":2,"build_id":"x","meta":{"k":1,"t":2},"segments":[{"name":"../evil","meta":{"k":1,"t":2}}]}`))
 	f.Add([]byte(`null`))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -42,8 +51,32 @@ func FuzzManifestParse(f *testing.F) {
 		if m.Meta.K <= 0 || m.Meta.T <= 0 {
 			t.Fatalf("accepted invalid meta k=%d t=%d", m.Meta.K, m.Meta.T)
 		}
-		if len(m.Files) != m.Meta.K {
-			t.Fatalf("accepted %d files for k=%d", len(m.Files), m.Meta.K)
+		if len(m.Files) != 0 {
+			t.Fatalf("accepted manifest kept a top-level file list (%d entries)", len(m.Files))
+		}
+		if len(m.Segments) == 0 {
+			t.Fatal("accepted manifest without segments")
+		}
+		texts, tokens := 0, int64(0)
+		for i, seg := range m.Segments {
+			if seg.Name == "" && i != 0 {
+				t.Fatalf("accepted root segment at position %d", i)
+			}
+			if len(seg.Files) != seg.Meta.K {
+				t.Fatalf("accepted %d files for segment %q with k=%d", len(seg.Files), seg.Name, seg.Meta.K)
+			}
+			if seg.Meta.K != m.Meta.K || seg.Meta.Seed != m.Meta.Seed || seg.Meta.T != m.Meta.T {
+				t.Fatalf("accepted mixed build options: segment %q %+v vs aggregate %+v", seg.Name, seg.Meta, m.Meta)
+			}
+			if tomb := seg.Tomb; tomb != nil && (tomb.Deleted <= 0 || tomb.Deleted > seg.Meta.NumTexts) {
+				t.Fatalf("accepted tombstone marking %d of %d texts", tomb.Deleted, seg.Meta.NumTexts)
+			}
+			texts += seg.Meta.NumTexts
+			tokens += seg.Meta.TotalTokens
+		}
+		if m.Meta.NumTexts != texts || m.Meta.TotalTokens != tokens {
+			t.Fatalf("accepted aggregate (%d texts, %d tokens) inconsistent with segments (%d, %d)",
+				m.Meta.NumTexts, m.Meta.TotalTokens, texts, tokens)
 		}
 		// Round-trip: a parsed manifest re-encodes and re-parses to the
 		// same validated value.
@@ -55,7 +88,7 @@ func FuzzManifestParse(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-parse: %v", err)
 		}
-		if m2.BuildID != m.BuildID || m2.Meta != m.Meta || len(m2.Files) != len(m.Files) {
+		if !reflect.DeepEqual(m, m2) {
 			t.Fatalf("round-trip changed manifest: %+v vs %+v", m, m2)
 		}
 	})

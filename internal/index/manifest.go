@@ -5,25 +5,43 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"math"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"ndss/internal/fsio"
 )
 
-// The build manifest (index.manifest) ties the k inverted files of a
-// directory to a single build: it records the build ID, the format
-// version, the metadata, and each file's size and checksums as written.
-// Open cross-checks the directory against the manifest, so an index
-// assembled from a mix of builds — the signature of a non-atomic
-// rebuild interrupted partway — is rejected with a diagnostic instead
-// of silently serving wrong matches. Directories without a manifest
-// (written before manifests existed) open through the index.meta
-// compatibility path with no cross-check.
+// The build manifest (index.manifest) is the root of truth for an index
+// directory: it names the set of immutable segments the index is made
+// of, and for every segment the inverted files with their sizes and
+// checksums as written. Open cross-checks the directory against the
+// manifest, so an index assembled from a mix of builds — the signature
+// of a non-atomic rebuild interrupted partway — is rejected with a
+// diagnostic instead of silently serving wrong matches.
+//
+// Format version 2 introduced the segment list: every build produces an
+// immutable segment (the k inverted files), Append adds a new segment
+// directory plus an atomically renamed manifest instead of rewriting
+// the index, deletes are per-segment tombstone bitmaps, and compaction
+// merges the segment set back into one. Version-1 manifests (one
+// monolithic file set) still parse: they are normalized into a
+// single-segment version-2 manifest whose segment lives at the
+// directory root. Directories without any manifest (written before
+// manifests existed) open through the index.meta compatibility path
+// with no cross-check, as a one-segment read-only set.
 
 const (
 	manifestFileName      = "index.manifest"
-	manifestFormatVersion = 1
+	manifestFormatVersion = 2
+	// manifestVersionFlat is the pre-segment format: one file list at
+	// the top level, no segment entries.
+	manifestVersionFlat = 1
+
+	// manifestTmpPattern names in-progress manifest replacements;
+	// sweepSegments removes leftovers of interrupted commits.
+	manifestTmpPattern = manifestFileName + ".tmp-*"
 )
 
 // ManifestFile records one inverted file as the builder wrote it.
@@ -37,13 +55,87 @@ type ManifestFile struct {
 	RegionCRC uint32 `json:"region_crc32"`
 }
 
-// Manifest is the on-disk build manifest.
+// ManifestTombstone records a segment's tombstone bitmap file: deleted
+// texts are masked out of every read of that segment until compaction
+// drops their postings entirely.
+type ManifestTombstone struct {
+	Name    string `json:"name"`
+	Deleted int    `json:"deleted"`
+	CRC     uint32 `json:"crc32"`
+}
+
+// ManifestSegment is one immutable segment of the index: a complete set
+// of k inverted files built over a consecutive run of text ids. Name ""
+// means the files live at the index directory root (the layout every
+// builder commits); appended segments live in subdirectories. A
+// segment's texts occupy the global id range starting at the sum of the
+// NumTexts of the segments before it.
+type ManifestSegment struct {
+	Name  string             `json:"name"`
+	Meta  Meta               `json:"meta"`
+	Files []ManifestFile     `json:"files"`
+	Tomb  *ManifestTombstone `json:"tombstone,omitempty"`
+}
+
+// Manifest is the on-disk index manifest. Meta aggregates the segment
+// set (NumTexts and TotalTokens are sums; the id space is the
+// concatenation of the segments in order). Files is only populated in
+// version-1 input and is folded into Segments by parseManifest.
 type Manifest struct {
-	FormatVersion int            `json:"format_version"`
-	BuildID       string         `json:"build_id"`
-	CreatedUnix   int64          `json:"created_unix"`
-	Meta          Meta           `json:"meta"`
-	Files         []ManifestFile `json:"files"`
+	FormatVersion int               `json:"format_version"`
+	BuildID       string            `json:"build_id"`
+	CreatedUnix   int64             `json:"created_unix"`
+	Meta          Meta              `json:"meta"`
+	Files         []ManifestFile    `json:"files,omitempty"`
+	Segments      []ManifestSegment `json:"segments,omitempty"`
+}
+
+// MixedOptionsError reports a segment set whose members were built with
+// different hash parameters. Serving such a set would sketch queries
+// with one hash family and match them against lists built with another,
+// silently producing wrong results, so Open rejects it.
+type MixedOptionsError struct {
+	Segment string // segment whose options diverge ("" = directory root)
+	Got     Meta   // the diverging segment's build options
+	Want    Meta   // the manifest's aggregate build options
+}
+
+func (e *MixedOptionsError) Error() string {
+	return fmt.Sprintf("index: segment %q built with k=%d seed=%d t=%d, segment set requires k=%d seed=%d t=%d: mixed build options",
+		segmentLabel(e.Segment), e.Got.K, e.Got.Seed, e.Got.T, e.Want.K, e.Want.Seed, e.Want.T)
+}
+
+// segmentLabel names a segment in diagnostics ("(root)" for "").
+func segmentLabel(name string) string {
+	if name == "" {
+		return "(root)"
+	}
+	return name
+}
+
+// segmentDirName names the nth appended segment's subdirectory.
+func segmentDirName(n int) string { return fmt.Sprintf("seg-%06d", n) }
+
+// nextSegmentName picks a subdirectory name unused by the manifest.
+func nextSegmentName(m *Manifest) string {
+	used := make(map[string]bool, len(m.Segments))
+	for _, s := range m.Segments {
+		used[s.Name] = true
+	}
+	for n := 1; ; n++ {
+		if name := segmentDirName(n); !used[name] {
+			return name
+		}
+	}
+}
+
+// validEntryName reports whether name is safe to join onto the index
+// directory: a single non-empty path component.
+func validEntryName(name string) bool {
+	if name == "" || name == "." || name == ".." {
+		return false
+	}
+	return !strings.ContainsAny(name, `/\`)
 }
 
 // newBuildID returns a fresh random build identifier.
@@ -57,7 +149,8 @@ func newBuildID() string {
 	return hex.EncodeToString(b[:])
 }
 
-// newManifest assembles the manifest for a completed build.
+// newManifest assembles the manifest for a completed build: a single
+// root segment holding the k files just written.
 func newManifest(meta Meta, sums []fileSum) Manifest {
 	files := make([]ManifestFile, len(sums))
 	for i, s := range sums {
@@ -73,8 +166,25 @@ func newManifest(meta Meta, sums []fileSum) Manifest {
 		BuildID:       newBuildID(),
 		CreatedUnix:   time.Now().Unix(),
 		Meta:          meta,
-		Files:         files,
+		Segments:      []ManifestSegment{{Name: "", Meta: meta, Files: files}},
 	}
+}
+
+// recomputeAggregate refreshes the manifest's top-level Meta from its
+// segment set: hash/build parameters from the first segment, NumTexts
+// and TotalTokens summed in segment order.
+func recomputeAggregate(m *Manifest) {
+	if len(m.Segments) == 0 {
+		return
+	}
+	agg := m.Segments[0].Meta
+	agg.NumTexts = 0
+	agg.TotalTokens = 0
+	for _, s := range m.Segments {
+		agg.NumTexts += s.Meta.NumTexts
+		agg.TotalTokens += s.Meta.TotalTokens
+	}
+	m.Meta = agg
 }
 
 func writeManifest(fsys fsio.FS, dir string, m Manifest) error {
@@ -88,6 +198,63 @@ func writeManifest(fsys fsio.FS, dir string, m Manifest) error {
 	return nil
 }
 
+// commitManifest atomically replaces a live directory's manifest: the
+// new manifest is written durably to a temp file and renamed over
+// index.manifest, so at every instant the directory names exactly one
+// consistent segment set — the old one or the new one, never a mix.
+// The aggregate index.meta is refreshed the same way afterwards (Open
+// prefers the manifest, so a crash between the two renames is benign).
+// A fresh build id is stamped: every committed segment-set change is a
+// distinct build.
+func commitManifest(fsys fsio.FS, dir string, m *Manifest) error {
+	m.FormatVersion = manifestFormatVersion
+	m.BuildID = newBuildID()
+	m.CreatedUnix = time.Now().Unix()
+	recomputeAggregate(m)
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("index: marshal manifest: %w", err)
+	}
+	if err := replaceFileSync(fsys, dir, manifestFileName, data); err != nil {
+		return fmt.Errorf("index: commit manifest: %w", err)
+	}
+	metaData, err := json.MarshalIndent(m.Meta, "", "  ")
+	if err != nil {
+		return fmt.Errorf("index: marshal meta: %w", err)
+	}
+	if err := replaceFileSync(fsys, dir, metaFileName, metaData); err != nil {
+		return fmt.Errorf("index: refresh meta: %w", err)
+	}
+	return nil
+}
+
+// replaceFileSync durably replaces dir/name via write-to-temp, fsync,
+// rename, fsync-dir. Readers see the old or the new content, never a
+// torn write.
+func replaceFileSync(fsys fsio.FS, dir, name string, data []byte) error {
+	f, err := fsys.CreateTemp(dir, name+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	return fsys.SyncDir(dir)
+}
+
 func readManifest(fsys fsio.FS, dir string) (*Manifest, error) {
 	data, err := fsys.ReadFile(filepath.Join(dir, manifestFileName))
 	if err != nil {
@@ -98,24 +265,93 @@ func readManifest(fsys fsio.FS, dir string) (*Manifest, error) {
 
 // parseManifest decodes and validates manifest bytes. It is pure (no
 // I/O) and total: any input — torn, corrupt, or adversarial — yields a
-// validated *Manifest or an error, never a panic.
+// validated *Manifest or an error, never a panic. Version-1 manifests
+// are normalized into the canonical single-root-segment version-2
+// shape, so every accepted manifest satisfies the same invariants and
+// round-trips stably through re-encoding.
 func parseManifest(data []byte) (*Manifest, error) {
 	var m Manifest
 	if err := json.Unmarshal(data, &m); err != nil {
 		return nil, fmt.Errorf("index: parse manifest (truncated or corrupt): %w", err)
 	}
-	if m.FormatVersion != manifestFormatVersion {
-		return nil, fmt.Errorf("index: manifest format version %d, this build understands %d",
-			m.FormatVersion, manifestFormatVersion)
-	}
 	if m.BuildID == "" {
 		return nil, fmt.Errorf("index: manifest has no build id")
+	}
+	switch m.FormatVersion {
+	case manifestVersionFlat:
+		if len(m.Segments) != 0 {
+			return nil, fmt.Errorf("index: version-1 manifest carries segment entries")
+		}
+		m.Segments = []ManifestSegment{{Name: "", Meta: m.Meta, Files: m.Files}}
+		m.Files = nil
+		m.FormatVersion = manifestFormatVersion
+	case manifestFormatVersion:
+		if len(m.Files) != 0 {
+			return nil, fmt.Errorf("index: version-2 manifest carries a top-level file list")
+		}
+	default:
+		return nil, fmt.Errorf("index: manifest format version %d, this build understands %d",
+			m.FormatVersion, manifestFormatVersion)
 	}
 	if err := m.Meta.validate(); err != nil {
 		return nil, err
 	}
-	if len(m.Files) != m.Meta.K {
-		return nil, fmt.Errorf("index: manifest lists %d files for k=%d", len(m.Files), m.Meta.K)
+	if len(m.Segments) == 0 {
+		return nil, fmt.Errorf("index: manifest names no segments")
+	}
+	var (
+		sumTexts  int64
+		sumTokens int64
+		names     = make(map[string]bool, len(m.Segments))
+	)
+	for i, seg := range m.Segments {
+		if i == 0 && seg.Name == "" {
+			// The root segment: files at the directory top level.
+		} else if !validEntryName(seg.Name) {
+			return nil, fmt.Errorf("index: manifest segment %d has invalid name %q", i, seg.Name)
+		}
+		if names[seg.Name] {
+			return nil, fmt.Errorf("index: manifest names segment %q twice", seg.Name)
+		}
+		names[seg.Name] = true
+		if err := seg.Meta.validate(); err != nil {
+			return nil, err
+		}
+		if seg.Meta.NumTexts < 0 || seg.Meta.TotalTokens < 0 {
+			return nil, fmt.Errorf("index: manifest segment %q has negative text counts", segmentLabel(seg.Name))
+		}
+		if seg.Meta.K != m.Meta.K || seg.Meta.Seed != m.Meta.Seed || seg.Meta.T != m.Meta.T {
+			return nil, &MixedOptionsError{Segment: seg.Name, Got: seg.Meta, Want: m.Meta}
+		}
+		if len(seg.Files) != seg.Meta.K {
+			return nil, fmt.Errorf("index: manifest lists %d files for segment %q with k=%d",
+				len(seg.Files), segmentLabel(seg.Name), seg.Meta.K)
+		}
+		for _, f := range seg.Files {
+			if !validEntryName(f.Name) {
+				return nil, fmt.Errorf("index: manifest segment %q lists invalid file name %q",
+					segmentLabel(seg.Name), f.Name)
+			}
+		}
+		if tomb := seg.Tomb; tomb != nil {
+			if !validEntryName(tomb.Name) {
+				return nil, fmt.Errorf("index: manifest segment %q has invalid tombstone name %q",
+					segmentLabel(seg.Name), tomb.Name)
+			}
+			if tomb.Deleted <= 0 || tomb.Deleted > seg.Meta.NumTexts {
+				return nil, fmt.Errorf("index: manifest segment %q tombstones %d of %d texts",
+					segmentLabel(seg.Name), tomb.Deleted, seg.Meta.NumTexts)
+			}
+		}
+		sumTexts += int64(seg.Meta.NumTexts)
+		sumTokens += int64(seg.Meta.TotalTokens)
+	}
+	if sumTexts > math.MaxUint32 {
+		return nil, fmt.Errorf("index: manifest segment set spans %d texts, exceeding the id space", sumTexts)
+	}
+	if int64(m.Meta.NumTexts) != sumTexts || m.Meta.TotalTokens != sumTokens {
+		return nil, fmt.Errorf("index: manifest aggregate (texts %d, tokens %d) does not match its segments (texts %d, tokens %d)",
+			m.Meta.NumTexts, m.Meta.TotalTokens, sumTexts, sumTokens)
 	}
 	return &m, nil
 }

@@ -2,6 +2,7 @@ package index
 
 import (
 	"fmt"
+	"math"
 	"path/filepath"
 	"sync"
 
@@ -127,6 +128,12 @@ func mergeFunc(fsys fsio.FS, shards []*Index, offsets []uint32, outDir string, f
 				recs = append(recs, record{Hash: cur, Posting: p})
 			}
 		}
+		// Every posting of this hash may be tombstoned (compaction
+		// filters deleted texts out through ReadList); a list with no
+		// survivors is simply not written.
+		if len(recs) == 0 {
+			continue
+		}
 		if err := w.addList(cur, recs); err != nil {
 			w.abort()
 			return fileSum{}, err
@@ -135,16 +142,50 @@ func mergeFunc(fsys fsio.FS, shards []*Index, offsets []uint32, outDir string, f
 	return w.finish()
 }
 
-// Append extends an existing index at dir with new texts: it builds a
-// delta index over the new texts (ids continue after the existing
-// corpus) and merges base + delta into a fresh directory, which then
-// atomically replaces dir. The result is identical to rebuilding over
-// the concatenated corpus.
+// loadOrSynthesizeManifest returns the directory's manifest, upgrading
+// a pre-manifest (bare index.meta) index on the fly: the legacy files
+// are opened once to recover their sizes and trailer checksums, and
+// described as a single root segment. The synthesized manifest exists
+// only in memory until the caller commits it.
+func loadOrSynthesizeManifest(fsys fsio.FS, dir string) (*Manifest, error) {
+	man, err := readManifest(fsys, dir)
+	if err == nil {
+		return man, nil
+	}
+	if !fsio.NotExist(err) {
+		return nil, err
+	}
+	ix, err := OpenFS(fsys, dir)
+	if err != nil {
+		return nil, err
+	}
+	defer ix.Close()
+	meta := ix.Meta()
+	seg := ManifestSegment{Name: "", Meta: meta}
+	for i, ff := range ix.segs[0].files {
+		seg.Files = append(seg.Files, ManifestFile{
+			Name: funcFileName(i), Size: ff.size, DirCRC: ff.dirCRC, RegionCRC: ff.regionCRC,
+		})
+	}
+	return &Manifest{
+		FormatVersion: manifestFormatVersion,
+		Meta:          meta,
+		Segments:      []ManifestSegment{seg},
+	}, nil
+}
+
+// Append extends an existing index at dir with new texts (ids continue
+// after the existing corpus) by building one new immutable segment in a
+// subdirectory and atomically committing a manifest that names it —
+// the existing segments are not rewritten or even read. Search results
+// are identical to rebuilding over the concatenated corpus.
 //
-// The merged output is fully fsynced before the swap, the swap itself
-// is the same backed-up rename dance as the builders' commit, and a
-// leftover "<dir>.old" backup from an interrupted prior swap is
-// recovered (restored or deleted) before the append starts.
+// The new segment is staged and fsynced by the ordinary build commit
+// before the manifest rename publishes it, so a crash at any point
+// leaves the old segment set or the new one, never a mix; a segment
+// directory the manifest never came to name is swept by the next
+// mutation. Pre-manifest indexes are upgraded in place: their files
+// become the root segment of the committed manifest.
 func Append(dir string, newTexts *corpus.Corpus) error {
 	return appendFS(fsio.OS, dir, newTexts)
 }
@@ -153,54 +194,110 @@ func appendFS(fsys fsio.FS, dir string, newTexts *corpus.Corpus) error {
 	if err := recoverBackup(fsys, dir); err != nil {
 		return err
 	}
-	// Sweep here, before our own delta/merge workspaces exist; the
-	// nested Build and merge below must not sweep (their pattern
-	// matches our live workspaces).
+	man, err := loadOrSynthesizeManifest(fsys, dir)
+	if err != nil {
+		return err
+	}
+	// Sweep leftovers of crashed prior mutations before our own
+	// workspaces exist; the nested Build below must not re-sweep dir's
+	// siblings (its own staging sweep is scoped to the segment name).
 	if err := sweepOrphans(fsys, dir); err != nil {
 		return err
 	}
-	meta, err := loadMeta(fsys, dir)
-	if err != nil {
+	if err := sweepSegments(fsys, dir, man); err != nil {
 		return err
 	}
-	parent, pattern := stagingPattern(dir)
-	deltaDir, err := fsys.MkdirTemp(parent, pattern)
-	if err != nil {
-		return err
+	meta := man.Meta
+	if int64(meta.NumTexts)+int64(newTexts.NumTexts()) > math.MaxUint32 {
+		return fmt.Errorf("index: append of %d texts would exceed the %d-text id space",
+			newTexts.NumTexts(), uint32(math.MaxUint32))
 	}
-	defer fsys.RemoveAll(deltaDir)
+	segName := nextSegmentName(man)
+	segDir := filepath.Join(dir, segName)
 	opts := BuildOptions{
 		K: meta.K, Seed: meta.Seed, T: meta.T,
 		ZoneMapStep: meta.ZoneMapStep, LongListCutoff: meta.LongListCutoff,
 		FS: fsys,
 	}
-	if _, err := Build(newTexts, deltaDir, opts); err != nil {
+	// Build commits the segment directory durably (staged inside dir,
+	// fsynced, renamed into place) before the manifest below names it.
+	if _, err := Build(newTexts, segDir, opts); err != nil {
 		return err
 	}
-	outDir, err := fsys.MkdirTemp(parent, pattern)
+	seg, err := readManifest(fsys, segDir)
 	if err != nil {
 		return err
 	}
-	defer fsys.RemoveAll(outDir)
-	// mergeShardsFS commits the merged index into outDir durably
-	// (data files, manifest and directory all fsynced) before the
-	// final swap below touches dir.
-	if err := mergeShardsFS(fsys, []string{dir, deltaDir}, []uint32{0, uint32(meta.NumTexts)}, outDir); err != nil {
+	man.Segments = append(man.Segments, ManifestSegment{
+		Name:  segName,
+		Meta:  seg.Meta,
+		Files: seg.Segments[0].Files,
+	})
+	return commitManifest(fsys, dir, man)
+}
+
+// Compact merges the index's segment set back into a single root
+// segment, dropping tombstoned postings for good. Search results are
+// byte-identical before and after: text ids are preserved (the id space
+// keeps counting deleted texts — ids are never reused), and per-hash
+// lists end up in the same global order the multi-segment reader
+// produced. The merged index is staged and swapped in with the same
+// atomic commit protocol as a fresh build, so a crash leaves the old
+// segment set or the new single segment. An already-compact index (one
+// segment, no tombstones) is a no-op.
+func Compact(dir string) error {
+	return compactFS(fsio.OS, dir)
+}
+
+func compactFS(fsys fsio.FS, dir string) error {
+	if err := recoverBackup(fsys, dir); err != nil {
 		return err
 	}
-	// Swap the merged index into place.
-	backup := dir + backupSuffix
-	if err := fsys.Rename(dir, backup); err != nil {
+	ix, err := OpenFS(fsys, dir)
+	if err != nil {
 		return err
 	}
-	if err := fsys.Rename(outDir, dir); err != nil {
-		fsys.Rename(backup, dir) // best-effort restore
+	defer ix.Close()
+	if len(ix.segs) == 1 && ix.segs[0].tomb == nil && ix.manifest != nil {
+		return nil
+	}
+	// Each segment is read as a synthetic single-segment shard based at
+	// id 0 (its own tombstones still applied), and the shard-merge
+	// offsets restore the global ids — so compaction is exactly the
+	// shard merge the parallel builder uses, minus the dead postings.
+	shards := make([]*Index, len(ix.segs))
+	offsets := make([]uint32, len(ix.segs))
+	for i, seg := range ix.segs {
+		local := *seg
+		local.base = 0
+		shards[i] = &Index{meta: seg.meta, family: ix.family, segs: []*segment{&local}}
+		offsets[i] = seg.base
+	}
+	merged := ix.meta // aggregate NumTexts/TotalTokens: the id-space width is preserved
+	merged.ZoneMapStep = ix.segs[0].meta.ZoneMapStep
+	merged.LongListCutoff = ix.segs[0].meta.LongListCutoff
+	staging, err := beginBuild(fsys, dir, false)
+	if err != nil {
 		return err
 	}
-	if err := fsys.SyncDir(parent); err != nil {
+	committed := false
+	defer func() {
+		if !committed {
+			discardStaging(fsys, staging)
+		}
+	}()
+	sums := make([]fileSum, merged.K)
+	for fn := 0; fn < merged.K; fn++ {
+		sum, err := mergeFunc(fsys, shards, offsets, staging, fn, merged)
+		if err != nil {
+			return err
+		}
+		sums[fn] = sum
+	}
+	if err := finishBuild(fsys, staging, dir, merged, sums); err != nil {
 		return err
 	}
-	fsys.RemoveAll(backup) // best-effort; recoverBackup clears leftovers
+	committed = true
 	return nil
 }
 

@@ -33,7 +33,7 @@ func TestReadAtTruncatedFileCountsActualBytes(t *testing.T) {
 	// Pick the last list of function 0 (highest offset) so truncating
 	// mid-list leaves the directory of the still-open file readable.
 	fn := 0
-	entries := ix.files[fn].entries
+	entries := ix.segs[0].files[fn].entries
 	var target dirEntry
 	for _, e := range entries {
 		if e.Count > 1 && e.Off >= target.Off {
@@ -89,7 +89,7 @@ func TestHasZoneMap(t *testing.T) {
 	defer ix.Close()
 	long, short := 0, 0
 	for fn := 0; fn < ix.K(); fn++ {
-		for _, e := range ix.files[fn].entries {
+		for _, e := range ix.segs[0].files[fn].entries {
 			got := ix.HasZoneMap(fn, e.Hash)
 			if want := e.ZoneCount > 0; got != want {
 				t.Fatalf("fn %d hash %x: HasZoneMap %v, ZoneCount %d", fn, e.Hash, got, e.ZoneCount)

@@ -15,18 +15,33 @@ import (
 	"ndss/internal/hash"
 )
 
-// Index is an opened index directory: k inverted files plus metadata.
+// Index is an opened index directory: an ordered set of immutable
+// segments, each holding k inverted files, plus metadata. Segment i's
+// texts occupy the global id range [base_i, base_i+NumTexts_i), where
+// base_i is the sum of the text counts before it, so reads concatenate
+// per-segment lists in segment order and stay sorted by global text id.
 // It is safe for concurrent readers.
 type Index struct {
-	meta     Meta
+	meta     Meta      // aggregate over the segment set
 	manifest *Manifest // nil for pre-manifest (legacy) indexes
 	family   *hash.Family
-	files    []*funcFile
+	segs     []*segment
 
 	// I/O accounting for the latency-split experiments (Fig 3). Updated
 	// atomically on every read.
 	bytesRead atomic.Int64
 	readNanos atomic.Int64
+}
+
+// segment is one opened immutable segment: k inverted files, the global
+// text-id base its local ids are offset by, and its tombstone bitmap
+// (nil when nothing is deleted).
+type segment struct {
+	name  string // "" = files at the index directory root
+	base  uint32 // first global text id of this segment
+	meta  Meta
+	files []*funcFile
+	tomb  *tombSet
 }
 
 // funcFile is one opened inverted file with its directory resident in
@@ -61,12 +76,14 @@ func (e *ReadError) Unwrap() error { return e.Err }
 // Open opens an index directory written by one of the builders.
 //
 // A directory with a build manifest is cross-checked against it: every
-// inverted file must exist with exactly the size and checksums the
-// manifest records, so a torn build or a file swapped in from a
-// different build is rejected with a diagnostic instead of serving
-// wrong results. A leftover commit backup from an interrupted build
-// swap is recovered first. Pre-manifest directories (bare index.meta)
-// still open, reporting build id "legacy".
+// segment's inverted files must exist with exactly the sizes and
+// checksums the manifest records, so a torn commit or a file swapped in
+// from a different build is rejected with a diagnostic instead of
+// serving wrong results. Segments built with different hash parameters
+// are rejected with a *MixedOptionsError. A leftover commit backup from
+// an interrupted swap is recovered first. Pre-manifest directories
+// (bare index.meta) still open read-only as a one-segment set,
+// reporting build id "legacy".
 func Open(dir string) (*Index, error) {
 	return OpenFS(fsio.OS, dir)
 }
@@ -77,59 +94,96 @@ func OpenFS(fsys fsio.FS, dir string) (*Index, error) {
 	if err := recoverBackup(fsys, dir); err != nil {
 		return nil, err
 	}
-	var (
-		meta Meta
-		man  *Manifest
-	)
-	m, err := readManifest(fsys, dir)
-	switch {
-	case err == nil:
-		man = m
-		meta = m.Meta
-	case fsio.NotExist(err):
-		// Pre-manifest index: fall back to the bare metadata file.
+	man, err := readManifest(fsys, dir)
+	if err != nil && !fsio.NotExist(err) {
+		return nil, err
+	}
+	var meta Meta
+	var msegs []ManifestSegment
+	if man != nil {
+		meta = man.Meta
+		msegs = man.Segments
+	} else {
+		// Pre-manifest index: a single unchecked root segment described
+		// by the bare metadata file.
 		meta, err = readMeta(fsys, dir)
 		if err != nil {
 			return nil, err
 		}
-	default:
-		return nil, err
+		msegs = []ManifestSegment{{Name: "", Meta: meta}}
 	}
 	fam, err := hash.NewFamily(meta.K, meta.Seed)
 	if err != nil {
 		return nil, err
 	}
 	ix := &Index{meta: meta, manifest: man, family: fam}
-	for i := 0; i < meta.K; i++ {
-		ff, err := openFuncFile(fsys, filepath.Join(dir, funcFileName(i)), i)
+	var base int64
+	for _, mseg := range msegs {
+		seg, err := openSegment(fsys, dir, mseg, uint32(base), man != nil)
 		if err != nil {
 			ix.Close()
 			return nil, err
 		}
-		if man != nil {
-			if err := man.checkFile(i, ff.size, ff.dirCRC, ff.regionCRC); err != nil {
-				ff.f.Close()
-				ix.Close()
+		ix.segs = append(ix.segs, seg)
+		base += int64(mseg.Meta.NumTexts)
+	}
+	return ix, nil
+}
+
+// openSegment opens one segment's k inverted files (cross-checking each
+// against the manifest when present) and its tombstone bitmap.
+func openSegment(fsys fsio.FS, dir string, mseg ManifestSegment, base uint32, checked bool) (*segment, error) {
+	segDir := dir
+	if mseg.Name != "" {
+		segDir = filepath.Join(dir, mseg.Name)
+	}
+	seg := &segment{name: mseg.Name, base: base, meta: mseg.Meta}
+	for i := 0; i < mseg.Meta.K; i++ {
+		ff, err := openFuncFile(fsys, filepath.Join(segDir, funcFileName(i)), i)
+		if err != nil {
+			seg.close()
+			return nil, err
+		}
+		seg.files = append(seg.files, ff)
+		if checked {
+			if err := mseg.checkFile(i, ff.size, ff.dirCRC, ff.regionCRC); err != nil {
+				seg.close()
 				return nil, err
 			}
 		}
-		ix.files = append(ix.files, ff)
 	}
-	return ix, nil
+	if mseg.Tomb != nil {
+		tomb, err := readTombstone(fsys, dir, mseg.Tomb, mseg.Meta.NumTexts)
+		if err != nil {
+			seg.close()
+			return nil, err
+		}
+		seg.tomb = tomb
+	}
+	return seg, nil
+}
+
+func (s *segment) close() {
+	for _, ff := range s.files {
+		if ff != nil {
+			ff.f.Close()
+		}
+	}
+	s.files = nil
 }
 
 // checkFile cross-checks an opened inverted file against the manifest
 // entry of the same function. The trailer checksums were already read
 // by openFuncFile, so the check costs no extra I/O.
-func (m *Manifest) checkFile(i int, size int64, dirCRC, regionCRC uint32) error {
+func (m *ManifestSegment) checkFile(i int, size int64, dirCRC, regionCRC uint32) error {
 	want := m.Files[i]
 	if size != want.Size {
-		return fmt.Errorf("index: %s: size %d does not match manifest of build %s (want %d): file from a torn or mixed build",
-			want.Name, size, m.BuildID, want.Size)
+		return fmt.Errorf("index: segment %s: %s: size %d does not match manifest (want %d): file from a torn or mixed build",
+			segmentLabel(m.Name), want.Name, size, want.Size)
 	}
 	if dirCRC != want.DirCRC || regionCRC != want.RegionCRC {
-		return fmt.Errorf("index: %s: checksums (dir %08x, region %08x) do not match manifest of build %s (dir %08x, region %08x): file from a torn or mixed build",
-			want.Name, dirCRC, regionCRC, m.BuildID, want.DirCRC, want.RegionCRC)
+		return fmt.Errorf("index: segment %s: %s: checksums (dir %08x, region %08x) do not match manifest (dir %08x, region %08x): file from a torn or mixed build",
+			segmentLabel(m.Name), want.Name, dirCRC, regionCRC, want.DirCRC, want.RegionCRC)
 	}
 	return nil
 }
@@ -205,20 +259,22 @@ func openFuncFile(fsys fsio.FS, path string, wantIdx int) (*funcFile, error) {
 	}, nil
 }
 
-// VerifyIntegrity re-reads every inverted file's postings/zones region
-// and checks it against the checksum recorded at build time. It reads
+// VerifyIntegrity re-reads every segment's postings/zones regions and
+// checks them against the checksums recorded at build time. It reads
 // each file fully, so it is an explicit maintenance operation rather
 // than part of Open.
 func (ix *Index) VerifyIntegrity() error {
-	for fn, ff := range ix.files {
-		h := crc32.NewIEEE()
-		region := io.NewSectionReader(ff.f, idxHeaderLen, int64(ff.dirOff)-idxHeaderLen)
-		if _, err := io.Copy(h, region); err != nil {
-			return fmt.Errorf("index: verify function %d: %w", fn, err)
-		}
-		if got := h.Sum32(); got != ff.regionCRC {
-			return fmt.Errorf("index: function %d postings region corrupt (crc %08x != %08x)",
-				fn, got, ff.regionCRC)
+	for _, seg := range ix.segs {
+		for fn, ff := range seg.files {
+			h := crc32.NewIEEE()
+			region := io.NewSectionReader(ff.f, idxHeaderLen, int64(ff.dirOff)-idxHeaderLen)
+			if _, err := io.Copy(h, region); err != nil {
+				return fmt.Errorf("index: verify segment %s function %d: %w", segmentLabel(seg.name), fn, err)
+			}
+			if got := h.Sum32(); got != ff.regionCRC {
+				return fmt.Errorf("index: segment %s function %d postings region corrupt (crc %08x != %08x)",
+					segmentLabel(seg.name), fn, got, ff.regionCRC)
+			}
 		}
 	}
 	return nil
@@ -227,26 +283,32 @@ func (ix *Index) VerifyIntegrity() error {
 // Close releases all file handles.
 func (ix *Index) Close() error {
 	var first error
-	for _, ff := range ix.files {
-		if ff == nil {
-			continue
+	for _, seg := range ix.segs {
+		for _, ff := range seg.files {
+			if ff == nil {
+				continue
+			}
+			if err := ff.f.Close(); err != nil && first == nil {
+				first = err
+			}
 		}
-		if err := ff.f.Close(); err != nil && first == nil {
-			first = err
-		}
+		seg.files = nil
 	}
-	ix.files = nil
+	ix.segs = nil
 	return first
 }
 
-// Meta returns the index metadata.
+// Meta returns the index metadata, aggregated over the segment set:
+// NumTexts and TotalTokens are sums (NumTexts counts the id-space
+// width, so it includes tombstoned texts).
 func (ix *Index) Meta() Meta { return ix.meta }
 
-// Manifest returns the build manifest the index was opened with, or nil
-// for a pre-manifest (legacy) index.
+// Manifest returns the manifest the index was opened with, or nil for a
+// pre-manifest (legacy) index.
 func (ix *Index) Manifest() *Manifest { return ix.manifest }
 
-// BuildID identifies the build that produced this index. Pre-manifest
+// BuildID identifies the committed segment set this index serves; every
+// build, append, delete, or compaction commits a fresh id. Pre-manifest
 // indexes report "legacy".
 func (ix *Index) BuildID() string {
 	if ix.manifest != nil {
@@ -259,8 +321,44 @@ func (ix *Index) BuildID() string {
 // sketch with this family.
 func (ix *Index) Family() *hash.Family { return ix.family }
 
-// K returns the number of hash functions / inverted files.
+// K returns the number of hash functions / inverted files per segment.
 func (ix *Index) K() int { return ix.meta.K }
+
+// SegmentCount returns the number of segments in the opened set.
+func (ix *Index) SegmentCount() int { return len(ix.segs) }
+
+// SegmentInfo describes one opened segment for tooling and metrics.
+type SegmentInfo struct {
+	Name        string // "" = directory root
+	Base        uint32 // first global text id
+	NumTexts    int
+	TotalTokens int64
+	Postings    int64
+	SizeOnDisk  int64
+	Tombstoned  int // texts masked by the segment's tombstone bitmap
+}
+
+// Segments describes the opened segment set in id order.
+func (ix *Index) Segments() []SegmentInfo {
+	out := make([]SegmentInfo, len(ix.segs))
+	for i, seg := range ix.segs {
+		info := SegmentInfo{
+			Name:        seg.name,
+			Base:        seg.base,
+			NumTexts:    seg.meta.NumTexts,
+			TotalTokens: seg.meta.TotalTokens,
+			Tombstoned:  seg.tomb.count(),
+		}
+		for _, ff := range seg.files {
+			info.SizeOnDisk += ff.size
+			for _, e := range ff.entries {
+				info.Postings += int64(e.Count)
+			}
+		}
+		out[i] = info
+	}
+	return out
+}
 
 // lookup finds the directory entry for hash h in function fn.
 func (ff *funcFile) lookup(h uint64) (dirEntry, bool) {
@@ -272,44 +370,94 @@ func (ff *funcFile) lookup(h uint64) (dirEntry, bool) {
 }
 
 // ListLength returns the posting count of the inverted list for hash h
-// in function fn, without any I/O (the directory is memory-resident).
+// in function fn across all segments, without any I/O (directories are
+// memory-resident). Tombstoned postings are included: the count is the
+// on-disk list length the planner budgets reads with.
 func (ix *Index) ListLength(fn int, h uint64) int {
-	e, ok := ix.files[fn].lookup(h)
-	if !ok {
-		return 0
+	n := 0
+	for _, seg := range ix.segs {
+		if e, ok := seg.files[fn].lookup(h); ok {
+			n += int(e.Count)
+		}
 	}
-	return int(e.Count)
+	return n
 }
 
-// HasZoneMap reports whether the list for hash h of function fn carries
-// a zone map, i.e. whether per-text probes (ReadListForText) are
-// proportional to the zone step rather than the list length. Lists at
-// or below the build-time LongListCutoff have no zone map; deferring
-// them degrades probes to a full read plus filter per candidate.
+// HasZoneMap reports whether per-text probes (ReadListForText) into the
+// list for hash h of function fn are cheap: every segment holding the
+// list must carry a zone map for its portion, keeping probes
+// proportional to the zone step rather than the list length.
 func (ix *Index) HasZoneMap(fn int, h uint64) bool {
-	e, ok := ix.files[fn].lookup(h)
-	return ok && e.ZoneCount > 0
+	found := false
+	for _, seg := range ix.segs {
+		e, ok := seg.files[fn].lookup(h)
+		if !ok {
+			continue
+		}
+		if e.ZoneCount == 0 {
+			return false
+		}
+		found = true
+	}
+	return found
 }
 
-// NumLists returns the number of inverted lists of function fn.
-func (ix *Index) NumLists(fn int) int { return len(ix.files[fn].entries) }
+// NumLists returns the number of distinct inverted lists of function fn
+// across the segment set.
+func (ix *Index) NumLists(fn int) int {
+	if len(ix.segs) == 1 {
+		return len(ix.segs[0].files[fn].entries)
+	}
+	return len(ix.Hashes(fn))
+}
 
 // Hashes returns every min-hash value that has an inverted list in
-// function fn, in ascending order.
+// function fn, in ascending order, deduplicated across segments.
 func (ix *Index) Hashes(fn int) []uint64 {
-	out := make([]uint64, len(ix.files[fn].entries))
-	for i, e := range ix.files[fn].entries {
-		out[i] = e.Hash
+	if len(ix.segs) == 1 {
+		entries := ix.segs[0].files[fn].entries
+		out := make([]uint64, len(entries))
+		for i, e := range entries {
+			out[i] = e.Hash
+		}
+		return out
+	}
+	var all []uint64
+	for _, seg := range ix.segs {
+		for _, e := range seg.files[fn].entries {
+			all = append(all, e.Hash)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	out := all[:0]
+	for i, h := range all {
+		if i == 0 || h != all[i-1] {
+			out = append(out, h)
+		}
 	}
 	return out
 }
 
-// ListLengths returns the posting counts of every list of function fn,
-// unordered. Used to pick prefix-filtering cutoffs.
+// ListLengths returns the posting counts of every distinct list of
+// function fn, unordered. Used to pick prefix-filtering cutoffs.
 func (ix *Index) ListLengths(fn int) []int {
-	out := make([]int, len(ix.files[fn].entries))
-	for i, e := range ix.files[fn].entries {
-		out[i] = int(e.Count)
+	if len(ix.segs) == 1 {
+		entries := ix.segs[0].files[fn].entries
+		out := make([]int, len(entries))
+		for i, e := range entries {
+			out[i] = int(e.Count)
+		}
+		return out
+	}
+	counts := make(map[uint64]int)
+	for _, seg := range ix.segs {
+		for _, e := range seg.files[fn].entries {
+			counts[e.Hash] += int(e.Count)
+		}
+	}
+	out := make([]int, 0, len(counts))
+	for _, n := range counts {
+		out = append(out, n)
 	}
 	return out
 }
@@ -328,12 +476,14 @@ func getReadBuf(n int) *[]byte {
 }
 
 // readAt wraps ReadAt with I/O accounting: the index-wide cumulative
-// counters always, plus the caller's per-query sink when non-nil. The
-// counters record the bytes ReadAt actually returned, so a failed or
-// short read (truncated file, I/O error) is charged for what was read,
-// not for what was asked. Failures come back as *ReadError carrying the
-// file, offset and length.
-func (ix *Index) readAt(ff *funcFile, buf []byte, off int64, sink *IOStats) error {
+// counters always, plus the caller's per-query sink when non-nil. seg
+// is the ordinal of the segment being read; when the sink carries a
+// PerSegment slice the read is attributed to it. The counters record
+// the bytes ReadAt actually returned, so a failed or short read
+// (truncated file, I/O error) is charged for what was read, not for
+// what was asked. Failures come back as *ReadError carrying the file,
+// offset and length.
+func (ix *Index) readAt(ff *funcFile, seg int, buf []byte, off int64, sink *IOStats) error {
 	start := time.Now()
 	n, err := ff.f.ReadAt(buf, off)
 	elapsed := time.Since(start)
@@ -342,6 +492,10 @@ func (ix *Index) readAt(ff *funcFile, buf []byte, off int64, sink *IOStats) erro
 	if sink != nil {
 		sink.BytesRead += int64(n)
 		sink.ReadTime += elapsed
+		if seg < len(sink.PerSegment) {
+			sink.PerSegment[seg].BytesRead += int64(n)
+			sink.PerSegment[seg].ReadTime += elapsed
+		}
 	}
 	if err == nil && n < len(buf) {
 		err = io.ErrUnexpectedEOF
@@ -361,26 +515,31 @@ func (ix *Index) ReadList(fn int, h uint64) ([]Posting, error) {
 // ReadListInto appends the postings of the list for hash h of function
 // fn to dst and returns the extended slice, recording the read's bytes
 // and latency into sink (when non-nil) in addition to the index-wide
-// cumulative counters. dst may be nil; reusing it across reads avoids
-// per-list allocations. The appended postings never alias index
-// storage.
+// cumulative counters. Per-segment lists are concatenated in segment
+// order with text ids remapped to the global id space (the result stays
+// sorted by text id) and tombstoned postings dropped. dst may be nil;
+// reusing it across reads avoids per-list allocations. The appended
+// postings never alias index storage.
 func (ix *Index) ReadListInto(dst []Posting, fn int, h uint64, sink *IOStats) ([]Posting, error) {
-	ff := ix.files[fn]
-	e, ok := ff.lookup(h)
-	if !ok {
-		return dst, nil
+	for si, seg := range ix.segs {
+		e, ok := seg.files[fn].lookup(h)
+		if !ok {
+			continue
+		}
+		out, err := ix.readListEntry(dst, si, seg, seg.files[fn], e, sink)
+		if err != nil {
+			return dst, fmt.Errorf("index: read list %x: %w", h, err)
+		}
+		dst = out
 	}
-	out, err := ix.readListEntry(dst, ff, e, sink)
-	if err != nil {
-		return dst, fmt.Errorf("index: read list %x: %w", h, err)
-	}
-	return out, nil
+	return dst, nil
 }
 
-// ReadListForText returns only the postings of textID within the list
-// for hash h of function fn. Long lists are probed through their zone
-// map so the read is proportional to the zone step rather than the list
-// length; short lists are read fully and filtered.
+// ReadListForText returns only the postings of (global) textID within
+// the list for hash h of function fn. Only the segment owning the id is
+// touched: long lists are probed through their zone map so the read is
+// proportional to the zone step rather than the list length; short
+// lists are read fully and filtered.
 func (ix *Index) ReadListForText(fn int, h uint64, textID uint32) ([]Posting, error) {
 	return ix.ReadListForTextInto(nil, fn, h, textID, nil)
 }
@@ -389,7 +548,15 @@ func (ix *Index) ReadListForText(fn int, h uint64, textID uint32) ([]Posting, er
 // recording I/O into sink, with the same reuse contract as
 // ReadListInto.
 func (ix *Index) ReadListForTextInto(dst []Posting, fn int, h uint64, textID uint32, sink *IOStats) ([]Posting, error) {
-	ff := ix.files[fn]
+	si, seg := ix.owningSegment(textID)
+	if seg == nil {
+		return dst, nil
+	}
+	local := textID - seg.base
+	if seg.tomb.has(local) {
+		return dst, nil
+	}
+	ff := seg.files[fn]
 	e, ok := ff.lookup(h)
 	if !ok {
 		return dst, nil
@@ -397,28 +564,28 @@ func (ix *Index) ReadListForTextInto(dst []Posting, fn int, h uint64, textID uin
 	if e.ZoneCount == 0 {
 		bp := getReadBuf(int(e.Count) * postingSize)
 		defer readBufPool.Put(bp)
-		if err := ix.readAt(ff, *bp, int64(e.Off), sink); err != nil {
+		if err := ix.readAt(ff, si, *bp, int64(e.Off), sink); err != nil {
 			return dst, fmt.Errorf("index: read list %x: %w", h, err)
 		}
-		return appendPostingsOfText(dst, *bp, int(e.Count), textID), nil
+		return appendPostingsOfText(dst, *bp, int(e.Count), local, seg.base), nil
 	}
 	zbp := getReadBuf(int(e.ZoneCount) * zoneEntrySize)
 	defer readBufPool.Put(zbp)
-	if err := ix.readAt(ff, *zbp, int64(e.ZoneOff), sink); err != nil {
+	if err := ix.readAt(ff, si, *zbp, int64(e.ZoneOff), sink); err != nil {
 		return dst, fmt.Errorf("index: read zones %x: %w", h, err)
 	}
 	zbuf := *zbp
 	firstID := func(i int) uint32 { return binary.LittleEndian.Uint32(zbuf[i*zoneEntrySize:]) }
-	// First zone whose FirstTextID > textID bounds the probe on the
+	// First zone whose FirstTextID > local bounds the probe on the
 	// right; the probe starts one zone before the first zone with
-	// FirstTextID >= textID (the text's postings may begin mid-zone).
+	// FirstTextID >= local (the text's postings may begin mid-zone).
 	n := int(e.ZoneCount)
-	hi := sort.Search(n, func(i int) bool { return firstID(i) > textID })
+	hi := sort.Search(n, func(i int) bool { return firstID(i) > local })
 	if hi == 0 {
 		// The list's very first posting already has a larger text id.
 		return dst, nil
 	}
-	lo := sort.Search(n, func(i int) bool { return firstID(i) >= textID })
+	lo := sort.Search(n, func(i int) bool { return firstID(i) >= local })
 	if lo > 0 {
 		lo--
 	}
@@ -429,45 +596,89 @@ func (ix *Index) ReadListForTextInto(dst []Posting, fn int, h uint64, textID uin
 	}
 	pbp := getReadBuf((endOrd - startOrd) * postingSize)
 	defer readBufPool.Put(pbp)
-	if err := ix.readAt(ff, *pbp, int64(e.Off)+int64(startOrd*postingSize), sink); err != nil {
+	if err := ix.readAt(ff, si, *pbp, int64(e.Off)+int64(startOrd*postingSize), sink); err != nil {
 		return dst, fmt.Errorf("index: probe list %x: %w", h, err)
 	}
-	return appendPostingsOfText(dst, *pbp, endOrd-startOrd, textID), nil
+	return appendPostingsOfText(dst, *pbp, endOrd-startOrd, local, seg.base), nil
+}
+
+// owningSegment locates the segment whose id range covers the global
+// textID. Segment sets are small, so a linear scan beats a search.
+func (ix *Index) owningSegment(textID uint32) (int, *segment) {
+	for si, seg := range ix.segs {
+		if textID >= seg.base && uint64(textID) < uint64(seg.base)+uint64(seg.meta.NumTexts) {
+			return si, seg
+		}
+	}
+	return -1, nil
 }
 
 // appendPostingsOfText decodes count postings from buf, appending the
-// ones belonging to textID to dst. Lists are sorted by text id, so the
-// scan stops at the first larger id.
-func appendPostingsOfText(dst []Posting, buf []byte, count int, textID uint32) []Posting {
+// ones belonging to the segment-local id to dst with their text ids
+// remapped by base. Lists are sorted by text id, so the scan stops at
+// the first larger id.
+func appendPostingsOfText(dst []Posting, buf []byte, count int, local, base uint32) []Posting {
 	for i := 0; i < count; i++ {
 		p := decodePosting(buf[i*postingSize:])
-		if p.TextID == textID {
+		if p.TextID == local {
+			p.TextID += base
 			dst = append(dst, p)
-		} else if p.TextID > textID {
+		} else if p.TextID > local {
 			break
 		}
 	}
 	return dst
 }
 
-func (ix *Index) readListEntry(dst []Posting, ff *funcFile, e dirEntry, sink *IOStats) ([]Posting, error) {
+// readListEntry reads one segment's portion of a list, remapping text
+// ids into the global space and dropping tombstoned postings.
+func (ix *Index) readListEntry(dst []Posting, si int, seg *segment, ff *funcFile, e dirEntry, sink *IOStats) ([]Posting, error) {
 	bp := getReadBuf(int(e.Count) * postingSize)
 	defer readBufPool.Put(bp)
 	buf := *bp
-	if err := ix.readAt(ff, buf, int64(e.Off), sink); err != nil {
+	if err := ix.readAt(ff, si, buf, int64(e.Off), sink); err != nil {
 		return dst, err
 	}
+	if seg.base == 0 && seg.tomb == nil {
+		// Single-root fast path: no remapping, no filtering.
+		for i := 0; i < int(e.Count); i++ {
+			dst = append(dst, decodePosting(buf[i*postingSize:]))
+		}
+		return dst, nil
+	}
 	for i := 0; i < int(e.Count); i++ {
-		dst = append(dst, decodePosting(buf[i*postingSize:]))
+		p := decodePosting(buf[i*postingSize:])
+		if seg.tomb.has(p.TextID) {
+			continue
+		}
+		p.TextID += seg.base
+		dst = append(dst, p)
 	}
 	return dst, nil
 }
 
-// IOStats reports cumulative read accounting since the index was opened
-// or since the last ResetIOStats.
-type IOStats struct {
+// SegmentIO is one segment's share of a read's I/O accounting.
+type SegmentIO struct {
 	BytesRead int64
 	ReadTime  time.Duration
+}
+
+// IOStats reports cumulative read accounting since the index was opened
+// or since the last ResetIOStats. When PerSegment is non-nil (sized by
+// the caller to the segment count), reads passing through the sink are
+// additionally attributed to the segment they touched.
+type IOStats struct {
+	BytesRead  int64
+	ReadTime   time.Duration
+	PerSegment []SegmentIO
+}
+
+// Reset zeroes the counters, keeping the PerSegment slice's capacity so
+// pooled sinks do not reallocate per query.
+func (s *IOStats) Reset() {
+	per := s.PerSegment[:0]
+	*s = IOStats{}
+	s.PerSegment = per
 }
 
 // IOStats returns cumulative I/O counters.
@@ -485,27 +696,32 @@ func (ix *Index) ResetIOStats() {
 }
 
 // TotalPostings returns the total number of postings (compact windows)
-// across all k files — the "number of compact windows generated" metric
-// of Fig 2(a–d).
+// across all segments and functions — the "number of compact windows
+// generated" metric of Fig 2(a–d). Tombstoned postings still on disk
+// are included until compaction purges them.
 func (ix *Index) TotalPostings() int64 {
 	var n int64
-	for _, ff := range ix.files {
-		for _, e := range ff.entries {
-			n += int64(e.Count)
+	for _, seg := range ix.segs {
+		for _, ff := range seg.files {
+			for _, e := range ff.entries {
+				n += int64(e.Count)
+			}
 		}
 	}
 	return n
 }
 
-// SizeOnDisk sums the sizes of the k inverted files.
+// SizeOnDisk sums the sizes of every segment's inverted files.
 func (ix *Index) SizeOnDisk() (int64, error) {
 	var n int64
-	for _, ff := range ix.files {
-		st, err := ff.f.Stat()
-		if err != nil {
-			return 0, err
+	for _, seg := range ix.segs {
+		for _, ff := range seg.files {
+			st, err := ff.f.Stat()
+			if err != nil {
+				return 0, err
+			}
+			n += st.Size()
 		}
-		n += st.Size()
 	}
 	return n, nil
 }

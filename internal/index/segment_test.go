@@ -1,0 +1,399 @@
+package index
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ndss/internal/corpus"
+	"ndss/internal/fsio"
+)
+
+// Segment-lifecycle tests: append-as-new-segment, tombstoned deletes,
+// compaction equivalence, and the mixed-build-options guard.
+
+// buildSegmented builds a base index and appends extra segments,
+// returning the directory. Every slice in parts after the first is
+// appended as its own segment.
+func buildSegmented(t *testing.T, opts BuildOptions, parts ...*corpus.Corpus) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "ix")
+	if _, err := Build(parts[0], dir, opts); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range parts[1:] {
+		if err := Append(dir, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// allLists snapshots every inverted list of every function, in order —
+// the full observable read surface of the index.
+func allLists(t *testing.T, ix *Index) map[int]map[uint64][]Posting {
+	t.Helper()
+	out := make(map[int]map[uint64][]Posting)
+	for fn := 0; fn < ix.K(); fn++ {
+		out[fn] = make(map[uint64][]Posting)
+		for _, h := range ix.Hashes(fn) {
+			ps, err := ix.ReadList(fn, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// A hash whose postings are all tombstoned reads as empty
+			// before compaction and disappears entirely after it; both
+			// states are the same observable (no candidates).
+			if len(ps) == 0 {
+				continue
+			}
+			out[fn][h] = ps
+		}
+	}
+	return out
+}
+
+func assertSameLists(t *testing.T, want, got map[int]map[uint64][]Posting) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("function count differs: %d vs %d", len(want), len(got))
+	}
+	for fn, lists := range want {
+		if len(lists) != len(got[fn]) {
+			t.Fatalf("fn %d: list count differs: %d vs %d", fn, len(lists), len(got[fn]))
+		}
+		for h, ps := range lists {
+			qs, ok := got[fn][h]
+			if !ok {
+				t.Fatalf("fn %d: hash %x missing", fn, h)
+			}
+			if len(ps) != len(qs) {
+				t.Fatalf("fn %d hash %x: length %d vs %d", fn, h, len(ps), len(qs))
+			}
+			for i := range ps {
+				if ps[i] != qs[i] {
+					t.Fatalf("fn %d hash %x posting %d: %+v vs %+v", fn, h, i, ps[i], qs[i])
+				}
+			}
+		}
+	}
+}
+
+// TestAppendWritesOnlySegment is the point of the refactor: appending
+// must not rewrite the existing segments — only a new segment directory
+// and a renamed manifest appear.
+func TestAppendWritesOnlySegment(t *testing.T) {
+	base := testCorpus(t, 14, 30, 60, 100, 7)
+	extra := testCorpus(t, 9, 30, 60, 100, 9)
+	opts := BuildOptions{K: 3, Seed: 17, T: 10, Parallelism: 1}
+	dir := filepath.Join(t.TempDir(), "ix")
+	if _, err := Build(base, dir, opts); err != nil {
+		t.Fatal(err)
+	}
+	before := make(map[string][]byte)
+	for fn := 0; fn < opts.K; fn++ {
+		data, err := os.ReadFile(filepath.Join(dir, funcFileName(fn)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[funcFileName(fn)] = data
+	}
+	if err := Append(dir, extra); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range before {
+		got, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("append rewrote root segment file %s", name)
+		}
+	}
+	ix, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if ix.SegmentCount() != 2 {
+		t.Fatalf("segment count = %d, want 2", ix.SegmentCount())
+	}
+	segs := ix.Segments()
+	if segs[0].Name != "" || segs[1].Name != segmentDirName(1) {
+		t.Fatalf("unexpected segment names: %+v", segs)
+	}
+	if segs[1].Base != uint32(base.NumTexts()) {
+		t.Fatalf("appended segment based at %d, want %d", segs[1].Base, base.NumTexts())
+	}
+	if st, err := os.Stat(filepath.Join(dir, segmentDirName(1), funcFileName(0))); err != nil || st.Size() == 0 {
+		t.Fatalf("appended segment files missing: %v", err)
+	}
+}
+
+// TestLegacyIndexOpensAsOneSegment covers the compatibility path end to
+// end: a pre-manifest directory opens as a one-segment set, and the
+// first mutation upgrades it to a manifested segment set whose results
+// match a from-scratch rebuild.
+func TestLegacyIndexOpensAsOneSegment(t *testing.T) {
+	base := testCorpus(t, 14, 30, 60, 100, 7)
+	extra := testCorpus(t, 9, 30, 60, 100, 9)
+	opts := BuildOptions{K: 3, Seed: 17, T: 10, Parallelism: 1}
+	dir := filepath.Join(t.TempDir(), "ix")
+	if _, err := Build(base, dir, opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, manifestFileName)); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.SegmentCount() != 1 {
+		t.Fatalf("legacy index has %d segments", ix.SegmentCount())
+	}
+	ix.Close()
+
+	if err := Append(dir, extra); err != nil {
+		t.Fatal(err)
+	}
+	ix, err = Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if ix.BuildID() == "legacy" || ix.Manifest() == nil {
+		t.Fatal("append did not upgrade the legacy index to a manifest")
+	}
+	if ix.SegmentCount() != 2 {
+		t.Fatalf("segment count = %d, want 2", ix.SegmentCount())
+	}
+
+	both := corpus.New(nil)
+	for id := 0; id < base.NumTexts(); id++ {
+		both.Append(base.Text(uint32(id)))
+	}
+	for id := 0; id < extra.NumTexts(); id++ {
+		both.Append(extra.Text(uint32(id)))
+	}
+	ref, _ := buildIndex(t, both, opts)
+	assertIndexesEqual(t, ref, ix)
+}
+
+// TestMixedOptionsRejected tampers a committed manifest so one segment
+// claims different hash parameters; Open must refuse with the typed
+// error.
+func TestMixedOptionsRejected(t *testing.T) {
+	base := testCorpus(t, 14, 30, 60, 100, 7)
+	extra := testCorpus(t, 9, 30, 60, 100, 9)
+	opts := BuildOptions{K: 2, Seed: 17, T: 10, Parallelism: 1}
+	dir := buildSegmented(t, opts, base, extra)
+
+	man, err := readManifest(fsio.OS, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man.Segments[1].Meta.Seed++
+	data, err := json.Marshal(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestFileName), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Open(dir)
+	if err == nil {
+		t.Fatal("mixed build options should fail to open")
+	}
+	var mixed *MixedOptionsError
+	if !errors.As(err, &mixed) {
+		t.Fatalf("error is not a MixedOptionsError: %v", err)
+	}
+	if mixed.Segment != segmentDirName(1) {
+		t.Fatalf("error names segment %q, want %q", mixed.Segment, segmentDirName(1))
+	}
+}
+
+// TestDeleteTombstones checks gather-time masking: a deleted text
+// vanishes from every list read while the segments and the id space
+// stay untouched.
+func TestDeleteTombstones(t *testing.T) {
+	base := testCorpus(t, 14, 30, 60, 100, 7)
+	extra := testCorpus(t, 9, 30, 60, 100, 9)
+	opts := BuildOptions{K: 2, Seed: 17, T: 10, Parallelism: 1}
+	dir := buildSegmented(t, opts, base, extra)
+
+	// One id in the root segment, one in the appended segment.
+	victims := []uint32{3, uint32(base.NumTexts()) + 2}
+	if err := Delete(dir, victims); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if got := ix.Meta().NumTexts; got != base.NumTexts()+extra.NumTexts() {
+		t.Fatalf("delete changed the id space: NumTexts %d", got)
+	}
+	segs := ix.Segments()
+	if segs[0].Tombstoned != 1 || segs[1].Tombstoned != 1 {
+		t.Fatalf("tombstone counts %d/%d, want 1/1", segs[0].Tombstoned, segs[1].Tombstoned)
+	}
+	dead := map[uint32]bool{victims[0]: true, victims[1]: true}
+	for fn := 0; fn < ix.K(); fn++ {
+		for _, h := range ix.Hashes(fn) {
+			ps, err := ix.ReadList(fn, h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range ps {
+				if dead[p.TextID] {
+					t.Fatalf("fn %d hash %x still lists deleted text %d", fn, h, p.TextID)
+				}
+			}
+			for _, id := range victims {
+				ps, err := ix.ReadListForText(fn, h, id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(ps) != 0 {
+					t.Fatalf("probe for deleted text %d returned %d postings", id, len(ps))
+				}
+			}
+		}
+	}
+
+	// Deleting the same ids again is a no-op commit, out-of-range is an
+	// error.
+	if err := Delete(dir, victims[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := Delete(dir, []uint32{uint32(ix.Meta().NumTexts)}); err == nil {
+		t.Fatal("delete beyond the corpus should fail")
+	}
+}
+
+// TestCompactEquivalence is the compaction oracle: merging the segment
+// set into one must not change a single observable read — same hashes,
+// same postings, same order — while dropping tombstoned postings and
+// preserving the id space.
+func TestCompactEquivalence(t *testing.T) {
+	base := testCorpus(t, 14, 30, 60, 100, 7)
+	extraA := testCorpus(t, 9, 30, 60, 100, 9)
+	extraB := testCorpus(t, 7, 30, 60, 100, 11)
+	opts := BuildOptions{K: 3, Seed: 17, T: 10, Parallelism: 1}
+	dir := buildSegmented(t, opts, base, extraA, extraB)
+	victims := []uint32{1, uint32(base.NumTexts()) + 4, uint32(base.NumTexts()+extraA.NumTexts()) + 2}
+	if err := Delete(dir, victims); err != nil {
+		t.Fatal(err)
+	}
+
+	before, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := allLists(t, before)
+	wantMeta := before.Meta()
+	before.Close()
+
+	if err := Compact(dir); err != nil {
+		t.Fatal(err)
+	}
+	after, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer after.Close()
+	if after.SegmentCount() != 1 {
+		t.Fatalf("compacted index has %d segments", after.SegmentCount())
+	}
+	if after.Segments()[0].Tombstoned != 0 {
+		t.Fatal("compacted index still carries tombstones")
+	}
+	if after.Meta() != wantMeta {
+		t.Fatalf("compaction changed meta: %+v vs %+v", wantMeta, after.Meta())
+	}
+	assertSameLists(t, want, allLists(t, after))
+	if err := after.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+	// Old segment directories and tombstone files are gone.
+	for _, pattern := range []string{"seg-*", "tomb-*"} {
+		if m, _ := filepath.Glob(filepath.Join(dir, pattern)); len(m) != 0 {
+			t.Fatalf("compaction left %v behind", m)
+		}
+	}
+
+	// Compacting an already-compact index is a no-op: same build id.
+	id := after.BuildID()
+	if err := Compact(dir); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Close()
+	if again.BuildID() != id {
+		t.Fatal("no-op compaction rewrote the index")
+	}
+}
+
+// TestCompactUnderReadFaults injects read faults into the segment files
+// while compaction is reading them: the compaction must fail cleanly
+// with the read's context, leave the segment set untouched, and succeed
+// once the fault clears.
+func TestCompactUnderReadFaults(t *testing.T) {
+	base := testCorpus(t, 14, 30, 60, 100, 7)
+	extra := testCorpus(t, 9, 30, 60, 100, 9)
+	opts := BuildOptions{K: 2, Seed: 17, T: 10, Parallelism: 1}
+	dir := buildSegmented(t, opts, base, extra)
+	if err := Delete(dir, []uint32{2}); err != nil {
+		t.Fatal(err)
+	}
+
+	before, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := allLists(t, before)
+	oldID := before.BuildID()
+	before.Close()
+
+	ffs := fsio.NewFaultFS(fsio.OS).SetCrash(false)
+	ffs.FailReadAt(funcFileName(0), idxHeaderLen+4)
+	err = compactFS(ffs, dir)
+	if err == nil {
+		t.Fatal("compaction read through an injected fault")
+	}
+	var re *ReadError
+	if !errors.As(err, &re) {
+		t.Fatalf("fault did not surface as a ReadError: %v", err)
+	}
+	mid, err := Open(dir)
+	if err != nil {
+		t.Fatalf("failed compaction damaged the index: %v", err)
+	}
+	if mid.BuildID() != oldID {
+		t.Fatal("failed compaction committed anyway")
+	}
+	assertSameLists(t, want, allLists(t, mid))
+	mid.Close()
+
+	ffs.ClearReadFault()
+	if err := compactFS(ffs, dir); err != nil {
+		t.Fatal(err)
+	}
+	after, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer after.Close()
+	if after.SegmentCount() != 1 {
+		t.Fatalf("compacted index has %d segments", after.SegmentCount())
+	}
+	assertSameLists(t, want, allLists(t, after))
+}

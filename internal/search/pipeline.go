@@ -81,7 +81,25 @@ func (s *Searcher) acquireCtx(ctx context.Context, opts Options, minLen, beta in
 	qc.minLen = minLen
 	qc.plan.Beta = beta
 	qc.st = st
-	qc.io = index.IOStats{}
+	qc.io.Reset()
+	// Traced queries against a multi-segment index get per-segment I/O
+	// attribution: the sink carries one slot per segment (capacity kept
+	// across the pool) and the reader charges each read to the segment
+	// it touched. Untraced or single-segment queries skip this — the
+	// sink stays slotless and the reader's fast path is unchanged.
+	if opts.Trace {
+		if sc, ok := s.ix.(interface{ SegmentCount() int }); ok {
+			if n := sc.SegmentCount(); n > 1 {
+				if cap(qc.io.PerSegment) < n {
+					qc.io.PerSegment = make([]index.SegmentIO, n)
+				}
+				qc.io.PerSegment = qc.io.PerSegment[:n]
+				for i := range qc.io.PerSegment {
+					qc.io.PerSegment[i] = index.SegmentIO{}
+				}
+			}
+		}
+	}
 	qc.trace.Reset()
 	return qc
 }

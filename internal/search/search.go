@@ -372,6 +372,19 @@ func (s *Searcher) SearchContext(ctx context.Context, query []uint32, opts Optio
 	st.Total = obs.SinceMono(start)
 	st.CPUTime = st.Total - st.IOTime
 	if opts.Trace {
+		// Attribute the query's I/O to the segments it touched: one span
+		// per segment that served bytes, so multi-segment read skew is
+		// visible in the trace.
+		for i := range qc.io.PerSegment {
+			pio := qc.io.PerSegment[i]
+			if pio.BytesRead == 0 && pio.ReadTime == 0 {
+				continue
+			}
+			seg := qc.trace.Start("segment_io")
+			qc.trace.Annotate(seg, "segment", int64(i))
+			qc.trace.Annotate(seg, "io_bytes", pio.BytesRead)
+			qc.trace.End(seg)
+		}
 		st.Spans = qc.trace.Snapshot(nil)
 	}
 	return matches, st, nil

@@ -123,6 +123,9 @@ type metrics struct {
 	reloads        atomic.Int64 // successful backend swaps
 	reloadFailures atomic.Int64 // reloads that kept the old backend
 
+	ingests     atomic.Int64 // successful ingest mutations (segment appends)
+	compactions atomic.Int64 // successful compactions (manual or automatic)
+
 	// Aggregated per-query Stats/IOStats of executed (non-cached)
 	// searches. Exact because every query reports from its private sink.
 	matches   atomic.Int64
@@ -269,6 +272,10 @@ func (m *metrics) snapshot(cacheLen, cacheCap int, ix indexSnapshot) map[string]
 			"completed": m.reloads.Load(),
 			"failed":    m.reloadFailures.Load(),
 		},
+		"segments": map[string]int64{
+			"ingests":     m.ingests.Load(),
+			"compactions": m.compactions.Load(),
+		},
 		"query": map[string]int64{
 			"matches":     m.matches.Load(),
 			"io_bytes":    m.ioBytes.Load(),
@@ -286,6 +293,7 @@ type indexSnapshot struct {
 	K          int    `json:"k"`
 	T          int    `json:"t"`
 	NumTexts   int    `json:"num_texts"`
+	Segments   int    `json:"segments"`
 	BytesRead  int64  `json:"bytes_read"`
 	ReadTimeNS int64  `json:"read_time_ns"`
 }

@@ -131,6 +131,11 @@ func (m *metrics) writePrometheus(w io.Writer, cacheLen, cacheCap int, ix indexS
 	p.sample("ndss_reloads_total", `result="ok"`, float64(m.reloads.Load()))
 	p.sample("ndss_reloads_total", `result="error"`, float64(m.reloadFailures.Load()))
 
+	p.header("ndss_ingests_total", "Successful ingest mutations (segment appends).", "counter")
+	p.sample("ndss_ingests_total", "", float64(m.ingests.Load()))
+	p.header("ndss_compactions_total", "Successful segment compactions (manual or automatic).", "counter")
+	p.sample("ndss_compactions_total", "", float64(m.compactions.Load()))
+
 	p.header("ndss_query_matches_total", "Matches returned by executed queries.", "counter")
 	p.sample("ndss_query_matches_total", "", float64(m.matches.Load()))
 	p.header("ndss_query_io_bytes_total", "Index bytes read by executed queries.", "counter")
@@ -145,6 +150,8 @@ func (m *metrics) writePrometheus(w io.Writer, cacheLen, cacheCap int, ix indexS
 		escapeLabelValue(ix.BuildID), ix.K, ix.T), 1)
 	p.header("ndss_index_texts", "Texts in the active index.", "gauge")
 	p.sample("ndss_index_texts", "", float64(ix.NumTexts))
+	p.header("ndss_segments_total", "Segments in the active index's manifest.", "gauge")
+	p.sample("ndss_segments_total", "", float64(ix.Segments))
 	p.header("ndss_index_bytes_read_total", "Cumulative index bytes read since open.", "counter")
 	p.sample("ndss_index_bytes_read_total", "", float64(ix.BytesRead))
 	p.header("ndss_index_read_seconds_total", "Cumulative index read time since open.", "counter")

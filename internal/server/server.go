@@ -17,6 +17,12 @@
 //	                     traces of the slowest and most recent queries
 //	POST /admin/reload   zero-downtime hot swap to a freshly opened
 //	                     backend (requires Config.Reloader)
+//	POST /ingest         append new texts as a fresh index segment and
+//	                     hot-swap so they are searchable on return
+//	                     (requires Config.Ingester and Config.Reloader)
+//	POST /admin/compact  merge the index's segment set into one segment,
+//	                     dropping tombstoned texts, then hot-swap
+//	                     (requires Config.Compactor and Config.Reloader)
 //
 // The server bounds concurrent query work with an admission semaphore
 // (saturation → 429), applies a per-request deadline (the `timeout_ms`
@@ -87,6 +93,19 @@ type Config struct {
 	// Reloader opens a fresh backend for Reload / POST /admin/reload.
 	// Nil disables hot reload (the endpoint answers 501).
 	Reloader func() (Backend, error)
+	// Ingester appends new texts to the index as a fresh segment (the
+	// POST /ingest mutation). It runs with the old backend still
+	// serving; the server hot-swaps via Reloader once it returns, so
+	// Ingester requires Reloader. Nil disables ingest (501).
+	Ingester func(texts [][]uint32) error
+	// Compactor merges the index's segment set into one segment (the
+	// POST /admin/compact mutation), hot-swapped like Ingester. Nil
+	// disables compaction (501).
+	Compactor func() error
+	// CompactAfter triggers a background compaction after an ingest
+	// leaves the index with more than this many segments. Zero disables
+	// automatic compaction (manual POST /admin/compact still works).
+	CompactAfter int
 	// Logger receives the structured access log, slow-query warnings,
 	// and reload events. Nil discards everything.
 	Logger *slog.Logger
@@ -127,6 +146,10 @@ type Server struct {
 	handle *backendHandle // current backend + its in-flight refcount
 
 	reloadMu sync.Mutex // serializes Reload calls
+	mutateMu sync.Mutex // serializes index mutations (ingest/compact)
+
+	compacting atomic.Bool    // single-flight guard for auto-compaction
+	compactWG  sync.WaitGroup // tracks the background compaction goroutine
 
 	cfg     Config
 	sem     chan struct{}
@@ -166,6 +189,8 @@ func New(b Backend, cfg Config) *Server {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/slowlog", s.handleSlowlog)
 	s.mux.HandleFunc("/admin/reload", s.handleReload)
+	s.mux.HandleFunc("/ingest", s.handleIngest)
+	s.mux.HandleFunc("/admin/compact", s.handleCompact)
 	return s
 }
 
@@ -258,6 +283,172 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeJSON(w, http.StatusOK, map[string]string{
 			"status": "reloaded", "old_build_id": oldID, "build_id": newID,
+		})
+	}
+}
+
+// ErrNoIngester is returned by Ingest when the server was configured
+// without an Ingester.
+var ErrNoIngester = errors.New("server: no ingester configured")
+
+// ErrNoCompactor is returned by Compact when the server was configured
+// without a Compactor.
+var ErrNoCompactor = errors.New("server: no compactor configured")
+
+// Ingest appends texts to the index as a fresh segment and hot-swaps to
+// a backend that serves them; on return the texts are searchable. The
+// old backend keeps serving throughout — an append only writes new
+// files plus a manifest commit, never touching live segments — so
+// queries see zero failed requests. Mutations are serialized: a
+// concurrent Ingest or Compact waits its turn.
+func (s *Server) Ingest(texts [][]uint32) (buildID string, err error) {
+	if s.cfg.Ingester == nil {
+		return "", ErrNoIngester
+	}
+	s.mutateMu.Lock()
+	defer s.mutateMu.Unlock()
+	if err := s.cfg.Ingester(texts); err != nil {
+		return "", fmt.Errorf("server: ingest: %w", err)
+	}
+	_, newID, err := s.Reload()
+	if err != nil {
+		return "", err
+	}
+	s.met.ingests.Add(1)
+	s.log.Info("ingested texts", "texts", len(texts), "build_id", newID)
+	s.maybeAutoCompact()
+	return newID, nil
+}
+
+// Compact merges the index's segment set into one segment (dropping
+// tombstoned texts) and hot-swaps to the compacted backend. Like
+// Ingest, the old backend serves until the swap: compaction stages the
+// merged segment beside the live files and commits atomically.
+func (s *Server) Compact() (buildID string, err error) {
+	if s.cfg.Compactor == nil {
+		return "", ErrNoCompactor
+	}
+	s.mutateMu.Lock()
+	defer s.mutateMu.Unlock()
+	return s.compactLocked()
+}
+
+func (s *Server) compactLocked() (string, error) {
+	if err := s.cfg.Compactor(); err != nil {
+		return "", fmt.Errorf("server: compact: %w", err)
+	}
+	_, newID, err := s.Reload()
+	if err != nil {
+		return "", err
+	}
+	s.met.compactions.Add(1)
+	s.log.Info("index compacted", "build_id", newID)
+	return newID, nil
+}
+
+// maybeAutoCompact starts a background compaction when the active
+// backend's segment count exceeds Config.CompactAfter. Single-flight:
+// while one background compaction runs, further triggers are no-ops.
+// Called with mutateMu held; the goroutine re-acquires it.
+func (s *Server) maybeAutoCompact() {
+	if s.cfg.CompactAfter <= 0 || s.cfg.Compactor == nil {
+		return
+	}
+	if segmentCount(s.backend()) <= s.cfg.CompactAfter {
+		return
+	}
+	if !s.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	s.compactWG.Add(1)
+	go func() {
+		defer s.compactWG.Done()
+		defer s.compacting.Store(false)
+		s.mutateMu.Lock()
+		defer s.mutateMu.Unlock()
+		if _, err := s.compactLocked(); err != nil {
+			s.log.Error("background compaction failed", "error", err)
+		}
+	}()
+}
+
+// segmentCount reports how many segments back the given backend, via
+// the optional interface *core.Engine (and *index.Index) implement.
+// Backends without segment awareness count as one segment.
+func segmentCount(b Backend) int {
+	if sc, ok := b.(interface{ SegmentCount() int }); ok {
+		return sc.SegmentCount()
+	}
+	return 1
+}
+
+// ingestRequest is the JSON body of POST /ingest.
+type ingestRequest struct {
+	Texts [][]uint32 `json:"texts"`
+}
+
+// handleIngest is POST /ingest.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, r, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.closing.Load() {
+		s.writeError(w, r, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	var req ingestRequest
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 256<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, r, http.StatusBadRequest, fmt.Sprintf("decode request: %v", err))
+		return
+	}
+	if len(req.Texts) == 0 {
+		s.writeError(w, r, http.StatusBadRequest, "empty ingest: texts required")
+		return
+	}
+	for i, txt := range req.Texts {
+		if len(txt) == 0 {
+			s.writeError(w, r, http.StatusBadRequest, fmt.Sprintf("text %d is empty", i))
+			return
+		}
+	}
+	buildID, err := s.Ingest(req.Texts)
+	switch {
+	case errors.Is(err, ErrNoIngester):
+		s.writeError(w, r, http.StatusNotImplemented, ErrNoIngester.Error())
+	case err != nil:
+		s.writeError(w, r, http.StatusInternalServerError, err.Error())
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "ingested", "texts": len(req.Texts), "build_id": buildID,
+		})
+	}
+}
+
+// handleCompact is POST /admin/compact.
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, r, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.closing.Load() {
+		s.writeError(w, r, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	buildID, err := s.Compact()
+	switch {
+	case errors.Is(err, ErrNoCompactor):
+		s.writeError(w, r, http.StatusNotImplemented, ErrNoCompactor.Error())
+	case err != nil:
+		s.writeError(w, r, http.StatusInternalServerError, err.Error())
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "compacted", "build_id": buildID,
+			"segments": segmentCount(s.backend()),
 		})
 	}
 }
@@ -767,6 +958,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	ix := indexSnapshot{
 		BuildID: b.BuildID(), K: meta.K, T: meta.T, NumTexts: meta.NumTexts,
 		BytesRead: ios.BytesRead, ReadTimeNS: int64(ios.ReadTime),
+		Segments: segmentCount(b),
 	}
 	if wantsJSON(r) {
 		writeJSON(w, http.StatusOK, s.met.snapshot(cacheLen, cacheCap, ix))
