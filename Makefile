@@ -22,6 +22,13 @@ race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 ./internal/server/
 
+# CI "shard-suite" job: scatter–gather determinism and fault-injected
+# partial results under the race detector, plus the serving-layer
+# regression tests that gate the same PR.
+shard-suite:
+	$(GO) test -race -count=1 ./internal/shard/
+	$(GO) test -race -count=1 -run 'Shard|Partial|BodyLimit|CacheKey|Swap' ./internal/server/
+
 # CI "lint" job: the invariant analyzers (docs/INVARIANTS.md), both
 # standalone and driven by the go command, plus their fixture tests.
 lint:
@@ -53,4 +60,4 @@ bench-check:
 	$(GO) run ./cmd/ndss-bench -check BENCH.json
 
 # Everything a merge gate runs.
-ci: race lint test
+ci: race lint shard-suite test

@@ -53,11 +53,13 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -66,6 +68,7 @@ import (
 	"ndss/internal/index"
 	"ndss/internal/search"
 	"ndss/internal/server"
+	"ndss/internal/shard"
 )
 
 type serveConfig struct {
@@ -85,6 +88,10 @@ type serveConfig struct {
 
 	ingest       bool
 	compactAfter int
+
+	shards        string
+	shardTimeout  time.Duration
+	shardInflight int
 }
 
 func main() {
@@ -103,6 +110,9 @@ func main() {
 	flag.StringVar(&c.logFormat, "log", "text", "log format: text or json")
 	flag.BoolVar(&c.ingest, "ingest", false, "enable POST /ingest and /admin/compact (live segment appends)")
 	flag.IntVar(&c.compactAfter, "compact-after", 8, "with -ingest, auto-compact once the index exceeds this many segments (0 disables)")
+	flag.StringVar(&c.shards, "shards", "", "comma-separated shard list (index directories and/or http(s):// ndss-serve URLs); serves a scatter–gather coordinator over them instead of -index")
+	flag.DurationVar(&c.shardTimeout, "shard-timeout", 0, "per-shard deadline budget for fan-out legs; shards that miss it are skipped and the result is flagged partial (0 = request deadline only)")
+	flag.IntVar(&c.shardInflight, "shard-inflight", 0, "per-remote-shard concurrent request cap (0 = the shard package default)")
 	flag.Parse()
 
 	if err := run(c); err != nil {
@@ -164,6 +174,48 @@ func openBackend(idxDir, corpusPath string) (*servedBackend, error) {
 	return &servedBackend{Engine: engine, src: r}, nil
 }
 
+// openCoordinator builds the scatter–gather backend for -shards: each
+// comma-separated entry is an http(s):// URL (a remote ndss-serve, its
+// metadata discovered via /healthz) or a local index directory (opened
+// in-process). Text-id bases follow shard order, so the listing order
+// must match the order the shards were split in.
+func openCoordinator(c serveConfig) (server.Backend, error) {
+	var clients []shard.ShardClient
+	ok := false
+	defer func() {
+		if !ok {
+			for _, cl := range clients {
+				_ = cl.Close() // the construction error is the one to report
+			}
+		}
+	}()
+	for _, name := range strings.Split(c.shards, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if strings.HasPrefix(name, "http://") || strings.HasPrefix(name, "https://") {
+			hs, err := shard.NewHTTPShard(context.Background(), name, shard.HTTPOptions{MaxInFlight: c.shardInflight})
+			if err != nil {
+				return nil, err
+			}
+			clients = append(clients, hs)
+			continue
+		}
+		b, err := openBackend(name, "")
+		if err != nil {
+			return nil, err
+		}
+		clients = append(clients, shard.NewLocal(name, b))
+	}
+	coord, err := shard.NewCoordinator(clients, shard.Config{ShardBudget: c.shardTimeout})
+	if err != nil {
+		return nil, err
+	}
+	ok = true
+	return coord, nil
+}
+
 // debugServer serves pprof on its own listener, keeping profiling off
 // the query port entirely.
 func debugServer(addr string, logger *slog.Logger) *http.Server {
@@ -188,11 +240,26 @@ func run(c serveConfig) error {
 	if err != nil {
 		return err
 	}
-	backend, err := openBackend(c.idxDir, c.corpusPath)
+	var backend server.Backend
+	if c.shards != "" {
+		if c.ingest {
+			return fmt.Errorf("-ingest is incompatible with -shards: the coordinator's text-id bases are fixed at startup; ingest into individual shards and restart (or SIGHUP) the coordinator")
+		}
+		if c.corpusPath != "" {
+			return fmt.Errorf("-corpus is incompatible with -shards: configure verification on each shard's own server")
+		}
+		backend, err = openCoordinator(c)
+	} else {
+		backend, err = openBackend(c.idxDir, c.corpusPath)
+	}
 	if err != nil {
 		return err
 	}
-	defer backend.Close()
+	defer func() {
+		if cl, ok := backend.(io.Closer); ok {
+			_ = cl.Close() // exiting; nothing useful to do with a close error
+		}
+	}()
 
 	cache := c.cache
 	if cache == 0 {
@@ -211,11 +278,18 @@ func run(c serveConfig) error {
 		SlowQueryThreshold: c.slowQuery,
 		SlowlogEntries:     slowlog,
 		Reloader: func() (server.Backend, error) {
+			if c.shards != "" {
+				// Rebuild the whole topology: local shards reopen their
+				// directories, remote shards reconnect and re-learn their
+				// build ids. The server's refcounted handle swaps the new
+				// coordinator in with zero failed requests.
+				return openCoordinator(c)
+			}
 			return openBackend(c.idxDir, c.corpusPath)
 		},
 	}
 	if c.ingest {
-		scfg.Ingester = func(texts [][]uint32) error {
+		scfg.Ingester = func(texts [][]uint32) (string, error) {
 			return index.Append(c.idxDir, corpus.New(texts))
 		}
 		scfg.Compactor = func() error { return index.Compact(c.idxDir) }
@@ -236,8 +310,12 @@ func run(c serveConfig) error {
 	errc := make(chan error, 1)
 	go func() {
 		meta := backend.Meta()
+		source := c.idxDir
+		if c.shards != "" {
+			source = c.shards
+		}
 		logger.Info("serving",
-			"index", c.idxDir, "build_id", backend.BuildID(),
+			"index", source, "build_id", backend.BuildID(),
 			"k", meta.K, "t", meta.T, "texts", meta.NumTexts, "addr", c.addr)
 		if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			errc <- err

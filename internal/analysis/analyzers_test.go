@@ -19,6 +19,10 @@ func TestCtxFlow(t *testing.T) {
 	atest.Run(t, analysis.CtxFlow, "testdata/ctxflow", "ndss/internal/search")
 }
 
+func TestCtxFlowShard(t *testing.T) {
+	atest.Run(t, analysis.CtxFlow, "testdata/ctxflow_shard", "ndss/internal/shard")
+}
+
 func TestPoolPair(t *testing.T) {
 	atest.Run(t, analysis.PoolPair, "testdata/poolpair", "ndss/internal/search")
 }

@@ -10,13 +10,15 @@ import (
 // abandoned request stops issuing I/O at the next checkpoint, which
 // only holds if every function on the path takes and forwards a
 // context instead of minting its own.
-var ctxScope = []string{"ndss/internal/search", "ndss/internal/server", "ndss/internal/core"}
+var ctxScope = []string{"ndss/internal/search", "ndss/internal/server", "ndss/internal/core", "ndss/internal/shard"}
 
 // ctxExportScope is the narrower scope in which exported I/O entry
 // points must accept a context: the serving path. Offline builders
 // (internal/core's index-construction facade) are batch CLI work where
-// cancellation is process-level.
-var ctxExportScope = []string{"ndss/internal/search", "ndss/internal/server"}
+// cancellation is process-level. The shard coordinator is serving-path
+// code through and through — every ShardClient entry point fans out
+// network or index I/O — so it carries the full obligation.
+var ctxExportScope = []string{"ndss/internal/search", "ndss/internal/server", "ndss/internal/shard"}
 
 // ioFuncPackages are packages whose package-level functions count as
 // performing I/O.

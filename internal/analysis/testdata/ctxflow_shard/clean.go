@@ -1,0 +1,52 @@
+// Fixture for the cancellation contract at the scatter–gather layer
+// (ndss/internal/shard): every ShardClient entry point takes the
+// context first and forwards it into the leg's work, so a coordinator
+// deadline cancels shard I/O promptly.
+package shard
+
+import (
+	"context"
+	"net/http"
+	"strings"
+)
+
+// remote is an HTTP transport to one shard.
+type remote struct {
+	base string
+	hc   *http.Client
+}
+
+// SearchContext is the sanctioned transport shape: context first,
+// threaded into the outbound request.
+func (r *remote) SearchContext(ctx context.Context, query []uint32) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.base+"/search", strings.NewReader("{}"))
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	resp.Body.Close()
+	return nil, nil
+}
+
+// CheckHealth consults the context even though the probe is cheap: a
+// canceled coordinator must not launch new legs.
+func (r *remote) CheckHealth(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// fanOut holds a context and calls only Context variants, forwarding
+// it into every leg.
+func fanOut(ctx context.Context, shards []*remote, query []uint32) error {
+	for _, s := range shards {
+		if _, err := s.SearchContext(ctx, query); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Name does no I/O and needs no context.
+func (r *remote) Name() string { return r.base }

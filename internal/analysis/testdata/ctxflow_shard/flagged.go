@@ -1,0 +1,80 @@
+// Violations of the cancellation contract at the scatter–gather layer:
+// shard transports and coordinator fan-out paths that sever or ignore
+// the caller's deadline.
+package shard
+
+import (
+	"context"
+	"net/http"
+)
+
+// legacyClient is a transport with a context-less wrapper beside the
+// Context variant — the internal/search compatibility-shim shape.
+type legacyClient struct {
+	base string
+}
+
+// Search is an exported entry point doing network I/O with no way to
+// cancel it: a shard that stops answering pins the fan-out goroutine
+// forever.
+func (c *legacyClient) Search(query []uint32) ([]byte, error) { // want `exported Search performs I/O but takes no context\.Context`
+	resp, err := http.Post(c.base+"/search", "application/json", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp.Body.Close()
+	return nil, nil
+}
+
+func (c *legacyClient) SearchContext(ctx context.Context, query []uint32) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/search", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	resp.Body.Close()
+	return nil, nil
+}
+
+// Probe takes the shard name before the context.
+func (c *legacyClient) Probe(name string, ctx context.Context) error { // want `context\.Context must be the first parameter`
+	_, err := c.SearchContext(ctx, nil)
+	return err
+}
+
+// FanOutDetached severs the caller's deadline: every leg runs under a
+// fresh root context, so a timed-out query keeps hammering the shards.
+func FanOutDetached(shards []*legacyClient, query []uint32) error {
+	for _, s := range shards {
+		if _, err := s.SearchContext(context.Background(), query); err != nil { // want `context\.Background in library code severs cancellation`
+			return err
+		}
+	}
+	return nil
+}
+
+// FanOutDropped holds a context but calls the context-less wrapper,
+// dropping the deadline at the transport boundary.
+func FanOutDropped(ctx context.Context, shards []*legacyClient, query []uint32) error {
+	for _, s := range shards {
+		if _, err := s.Search(query); err != nil { // want `call SearchContext and forward the context instead of Search`
+			return err
+		}
+	}
+	return ctx.Err()
+}
+
+// QueryAll accepts a context and then ignores it while doing I/O.
+func QueryAll(ctx context.Context, shards []*legacyClient) error { // want `QueryAll takes a context\.Context but never forwards it; its I/O is uncancellable`
+	for _, s := range shards {
+		resp, err := http.Get(s.base + "/healthz")
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+	}
+	return nil
+}

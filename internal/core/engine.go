@@ -105,8 +105,12 @@ func (e *Engine) Family() *hash.Family { return e.ix.Family() }
 func (e *Engine) IOStats() index.IOStats { return e.ix.IOStats() }
 
 // Explain returns the deferral plan a query would execute with, without
-// reading any posting lists.
-func (e *Engine) Explain(query []uint32, opts search.Options) (*search.Plan, error) {
+// reading any posting lists. The context is accepted for interface
+// symmetry with the serving layer (planning itself does no I/O).
+func (e *Engine) Explain(ctx context.Context, query []uint32, opts search.Options) (*search.Plan, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return e.searcher.Explain(query, opts)
 }
 

@@ -18,7 +18,7 @@ func TestAppendEqualsRebuild(t *testing.T) {
 	if _, err := Build(base, ensureDir(t, dir), opts); err != nil {
 		t.Fatal(err)
 	}
-	if err := Append(dir, extra); err != nil {
+	if _, err := Append(dir, extra); err != nil {
 		t.Fatal(err)
 	}
 	appended, err := Open(dir)
@@ -56,10 +56,10 @@ func TestAppendTwice(t *testing.T) {
 	if _, err := Build(a, ensureDir(t, dir), opts); err != nil {
 		t.Fatal(err)
 	}
-	if err := Append(dir, b); err != nil {
+	if _, err := Append(dir, b); err != nil {
 		t.Fatal(err)
 	}
-	if err := Append(dir, c); err != nil {
+	if _, err := Append(dir, c); err != nil {
 		t.Fatal(err)
 	}
 	ix, err := Open(dir)
@@ -73,7 +73,7 @@ func TestAppendTwice(t *testing.T) {
 }
 
 func TestAppendMissingIndex(t *testing.T) {
-	if err := Append(t.TempDir()+"/nope", corpus.New(nil)); err == nil {
+	if _, err := Append(t.TempDir()+"/nope", corpus.New(nil)); err == nil {
 		t.Fatal("append to missing index should fail")
 	}
 }

@@ -244,7 +244,7 @@ func TestAppendCrashLoop(t *testing.T) {
 	dry := filepath.Join(t.TempDir(), "ix")
 	seedIndex(t, dry, base, opts)
 	counter := fsio.NewFaultFS(fsio.OS)
-	if err := appendFS(counter, dry, extra); err != nil {
+	if _, err := appendFS(counter, dry, extra); err != nil {
 		t.Fatal(err)
 	}
 	total := counter.Ops()
@@ -254,7 +254,7 @@ func TestAppendCrashLoop(t *testing.T) {
 		dir := filepath.Join(t.TempDir(), "ix")
 		old := seedIndex(t, dir, base, opts)
 		ffs := fsio.NewFaultFS(fsio.OS).FailAt(n)
-		if err := appendFS(ffs, dir, extra); err == nil {
+		if _, err := appendFS(ffs, dir, extra); err == nil {
 			got := openAndFingerprint(t, dir)
 			if got.numTexts != appended {
 				t.Fatalf("op %d: silent success with wrong index %+v", n, got)
@@ -282,7 +282,7 @@ func segmentedFixture(t *testing.T, dir string) (old fingerprint, numTexts int) 
 	if _, err := Build(base, dir, opts); err != nil {
 		t.Fatal(err)
 	}
-	if err := Append(dir, extra); err != nil {
+	if _, err := Append(dir, extra); err != nil {
 		t.Fatal(err)
 	}
 	if err := Delete(dir, []uint32{3}); err != nil {

@@ -186,30 +186,30 @@ func loadOrSynthesizeManifest(fsys fsio.FS, dir string) (*Manifest, error) {
 // directory the manifest never came to name is swept by the next
 // mutation. Pre-manifest indexes are upgraded in place: their files
 // become the root segment of the committed manifest.
-func Append(dir string, newTexts *corpus.Corpus) error {
+func Append(dir string, newTexts *corpus.Corpus) (buildID string, err error) {
 	return appendFS(fsio.OS, dir, newTexts)
 }
 
-func appendFS(fsys fsio.FS, dir string, newTexts *corpus.Corpus) error {
+func appendFS(fsys fsio.FS, dir string, newTexts *corpus.Corpus) (string, error) {
 	if err := recoverBackup(fsys, dir); err != nil {
-		return err
+		return "", err
 	}
 	man, err := loadOrSynthesizeManifest(fsys, dir)
 	if err != nil {
-		return err
+		return "", err
 	}
 	// Sweep leftovers of crashed prior mutations before our own
 	// workspaces exist; the nested Build below must not re-sweep dir's
 	// siblings (its own staging sweep is scoped to the segment name).
 	if err := sweepOrphans(fsys, dir); err != nil {
-		return err
+		return "", err
 	}
 	if err := sweepSegments(fsys, dir, man); err != nil {
-		return err
+		return "", err
 	}
 	meta := man.Meta
 	if int64(meta.NumTexts)+int64(newTexts.NumTexts()) > math.MaxUint32 {
-		return fmt.Errorf("index: append of %d texts would exceed the %d-text id space",
+		return "", fmt.Errorf("index: append of %d texts would exceed the %d-text id space",
 			newTexts.NumTexts(), uint32(math.MaxUint32))
 	}
 	segName := nextSegmentName(man)
@@ -222,18 +222,25 @@ func appendFS(fsys fsio.FS, dir string, newTexts *corpus.Corpus) error {
 	// Build commits the segment directory durably (staged inside dir,
 	// fsynced, renamed into place) before the manifest below names it.
 	if _, err := Build(newTexts, segDir, opts); err != nil {
-		return err
+		return "", err
 	}
 	seg, err := readManifest(fsys, segDir)
 	if err != nil {
-		return err
+		return "", err
 	}
 	man.Segments = append(man.Segments, ManifestSegment{
 		Name:  segName,
 		Meta:  seg.Meta,
 		Files: seg.Segments[0].Files,
 	})
-	return commitManifest(fsys, dir, man)
+	if err := commitManifest(fsys, dir, man); err != nil {
+		return "", err
+	}
+	// Report the committed build id: once the manifest is durable the
+	// texts are part of the index whether or not the caller manages to
+	// swap a reloaded backend in, and retry decisions (a blind re-append
+	// would duplicate the texts) need the id of the committed build.
+	return man.BuildID, nil
 }
 
 // Compact merges the index's segment set back into a single root

@@ -24,7 +24,7 @@ func buildSegmented(t *testing.T, opts BuildOptions, parts ...*corpus.Corpus) st
 		t.Fatal(err)
 	}
 	for _, p := range parts[1:] {
-		if err := Append(dir, p); err != nil {
+		if _, err := Append(dir, p); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -100,7 +100,7 @@ func TestAppendWritesOnlySegment(t *testing.T) {
 		}
 		before[funcFileName(fn)] = data
 	}
-	if err := Append(dir, extra); err != nil {
+	if _, err := Append(dir, extra); err != nil {
 		t.Fatal(err)
 	}
 	for name, want := range before {
@@ -156,7 +156,7 @@ func TestLegacyIndexOpensAsOneSegment(t *testing.T) {
 	}
 	ix.Close()
 
-	if err := Append(dir, extra); err != nil {
+	if _, err := Append(dir, extra); err != nil {
 		t.Fatal(err)
 	}
 	ix, err = Open(dir)

@@ -99,6 +99,21 @@ func (t *Trace) Start(name string) SpanID {
 	return SpanID(len(t.spans) - 1)
 }
 
+// Record appends an already-timed span: start is its offset from the
+// trace's base and dur its duration. Callers that time work outside the
+// trace's own clock — concurrent fan-out legs whose goroutines must not
+// touch the trace — measure with NowMono/SinceMono and record after
+// joining. Returns the span's id (for Annotate), or None when the trace
+// is at MaxSpans (the drop is counted).
+func (t *Trace) Record(name string, start, dur time.Duration) SpanID {
+	if len(t.spans) >= MaxSpans {
+		t.dropped++
+		return None
+	}
+	t.spans = append(t.spans, Span{Name: name, Start: start, Dur: dur})
+	return SpanID(len(t.spans) - 1)
+}
+
 // End closes the span and returns its duration (0 for None).
 func (t *Trace) End(id SpanID) time.Duration {
 	if id == None {

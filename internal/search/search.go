@@ -194,6 +194,48 @@ type Stats struct {
 	// Spans is the query's full trace (stage spans plus per-probe
 	// spans), copied out only when Options.Trace is set.
 	Spans []obs.Span
+
+	// ShardsTotal and ShardsAnswered describe scatter–gather fan-out
+	// when the query ran through a shard coordinator: ShardsTotal shards
+	// were asked, ShardsAnswered answered within their budget. Both are
+	// zero for unsharded queries; ShardsAnswered < ShardsTotal marks a
+	// partial result.
+	ShardsTotal    int
+	ShardsAnswered int
+	// PerShard attributes the query's work to each shard (mirroring
+	// IOStats.PerSegment for segments): one entry per shard in shard
+	// order, including the shards that missed their budget. Nil for
+	// unsharded queries.
+	PerShard []ShardStats
+}
+
+// Partial reports whether this is a sharded result missing at least one
+// shard's answer.
+func (s *Stats) Partial() bool {
+	return s.ShardsTotal > 0 && s.ShardsAnswered < s.ShardsTotal
+}
+
+// ShardStats is one shard's share of a scatter–gather query: its
+// pipeline stage split, its I/O, and whether it answered within the
+// per-shard budget.
+type ShardStats struct {
+	// Shard names the shard (its index directory or URL).
+	Shard string `json:"shard"`
+	// Answered is false when the shard was skipped: it missed the
+	// per-shard deadline budget, was saturated, or failed.
+	Answered bool `json:"answered"`
+	// Err is why the shard went unanswered, "" when it answered.
+	Err string `json:"err,omitempty"`
+	// Matches is how many merged spans the shard contributed.
+	Matches int `json:"matches"`
+	// IOBytes/IOTime are the shard's exact per-query I/O.
+	IOBytes int64         `json:"io_bytes"`
+	IOTime  time.Duration `json:"io_time_ns"`
+	// Total is the shard's wall time as observed by the coordinator
+	// (queueing plus execution plus, for remote shards, the network).
+	Total time.Duration `json:"total_ns"`
+	// StageTimes is the shard's own pipeline decomposition.
+	StageTimes StageTimes `json:"stages"`
 }
 
 // Searcher answers near-duplicate sequence searches against an opened

@@ -72,7 +72,7 @@ func TestSegmentedSearchEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, p := range parts[1:] {
-		if err := index.Append(dir, p); err != nil {
+		if _, err := index.Append(dir, p); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -147,7 +147,7 @@ func TestSegmentedSearchReadFault(t *testing.T) {
 	if _, err := index.Build(parts[0], dir, index.BuildOptions{K: k, Seed: seed, T: tt}); err != nil {
 		t.Fatal(err)
 	}
-	if err := index.Append(dir, parts[1]); err != nil {
+	if _, err := index.Append(dir, parts[1]); err != nil {
 		t.Fatal(err)
 	}
 	ffs := fsio.NewFaultFS(fsio.OS).SetCrash(false)

@@ -85,13 +85,20 @@ func (c *resultCache) len() int {
 // endpoint ('S' search, 'K' top-k) so the two result shapes never
 // collide. topN and floor are zero for plain searches.
 func cacheKey(kind byte, sketch []uint64, query []uint32, o search.Options, topN int, floor float64) string {
-	b := make([]byte, 0, 1+8*(len(sketch)+6))
+	b := make([]byte, 0, 1+8*(len(sketch)+7))
 	b = append(b, kind)
 	var tmp [8]byte
 	app64 := func(v uint64) {
 		binary.LittleEndian.PutUint64(tmp[:], v)
 		b = append(b, tmp[:]...)
 	}
+	// Length-prefix the variable-length sketch so its values can never
+	// alias the fixed option fields that follow: without the prefix, a
+	// (K)-sketch key and a (K+1)-sketch key whose extra word equals the
+	// Theta bits (and whose remaining fields shift accordingly) would
+	// serialize identically. Latent while one backend pins one K, but a
+	// shard coordinator and reloads make K a runtime property.
+	app64(uint64(len(sketch)))
 	for _, h := range sketch {
 		app64(h)
 	}

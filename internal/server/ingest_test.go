@@ -39,7 +39,7 @@ func ingestFixture(t *testing.T, compactAfter int) (*Server, string) {
 	srv := New(backend, Config{
 		MaxInFlight:  128,
 		Reloader:     func() (Backend, error) { return core.Open(dir, nil) },
-		Ingester:     func(texts [][]uint32) error { return index.Append(dir, corpus.New(texts)) },
+		Ingester:     func(texts [][]uint32) (string, error) { return index.Append(dir, corpus.New(texts)) },
 		Compactor:    func() error { return index.Compact(dir) },
 		CompactAfter: compactAfter,
 	})

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ndss/internal/search"
+	"ndss/internal/shard"
 )
 
 // endpoint enumerates the query endpoints whose latency is observed.
@@ -113,6 +114,7 @@ type metrics struct {
 	rejected  atomic.Int64 // 429: admission semaphore saturated
 	refused   atomic.Int64 // 503: shutting down
 	badInput  atomic.Int64 // 400
+	tooLarge  atomic.Int64 // 413: request body over the size cap
 	timeouts  atomic.Int64 // 504: deadline exceeded mid-query
 	canceled  atomic.Int64 // client went away mid-query
 	internals atomic.Int64 // 500
@@ -204,7 +206,7 @@ func sampleRuntime() runtimeSnapshot {
 // snapshot renders the counters into the JSON shape /metrics serves for
 // Accept: application/json. The pre-observability keys are preserved
 // verbatim; "endpoints", "stages" and "runtime" are additive.
-func (m *metrics) snapshot(cacheLen, cacheCap int, ix indexSnapshot) map[string]any {
+func (m *metrics) snapshot(cacheLen, cacheCap int, ix indexSnapshot, sm *shard.Metrics) map[string]any {
 	hits, misses := m.cacheHits.Load(), m.cacheMisses.Load()
 	hitRate := 0.0
 	if hits+misses > 0 {
@@ -239,7 +241,7 @@ func (m *metrics) snapshot(cacheLen, cacheCap int, ix indexSnapshot) map[string]
 		stages[name] = map[string]int64{"count": c, "sum_ns": s}
 	}
 
-	return map[string]any{
+	out := map[string]any{
 		"uptime_seconds": time.Since(m.start).Seconds(),
 		"in_flight":      m.inFlight.Load(),
 		"requests": map[string]int64{
@@ -250,6 +252,7 @@ func (m *metrics) snapshot(cacheLen, cacheCap int, ix indexSnapshot) map[string]
 			"rejected":       m.rejected.Load(),
 			"refused":        m.refused.Load(),
 			"bad_request":    m.badInput.Load(),
+			"too_large":      m.tooLarge.Load(),
 			"timeout":        m.timeouts.Load(),
 			"canceled":       m.canceled.Load(),
 			"internal_error": m.internals.Load(),
@@ -285,6 +288,26 @@ func (m *metrics) snapshot(cacheLen, cacheCap int, ix indexSnapshot) map[string]
 		"index":   ix,
 		"runtime": sampleRuntime(),
 	}
+	if sm != nil {
+		shards := make([]map[string]any, len(sm.Shards))
+		for i, sh := range sm.Shards {
+			shards[i] = map[string]any{
+				"shard":    sh.Shard,
+				"build_id": sh.BuildID,
+				"requests": sh.Requests,
+				"errors":   sh.Errors,
+				"latency": map[string]int64{
+					"count":  sh.LatencyCount,
+					"sum_ns": sh.LatencySumNS,
+				},
+			}
+		}
+		out["shards"] = map[string]any{
+			"partial_results": sm.PartialResults,
+			"shards":          shards,
+		}
+	}
+	return out
 }
 
 // indexSnapshot is the index-level slice of /metrics.

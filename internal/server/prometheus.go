@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"ndss/internal/search"
+	"ndss/internal/shard"
 )
 
 // promContentType is the exposition content type scrapers expect.
@@ -79,7 +80,7 @@ func escapeLabelValue(s string) string {
 
 // writePrometheus renders the full metric catalog (see README's
 // observability section) in exposition format.
-func (m *metrics) writePrometheus(w io.Writer, cacheLen, cacheCap int, ix indexSnapshot, slowlogLen int) error {
+func (m *metrics) writePrometheus(w io.Writer, cacheLen, cacheCap int, ix indexSnapshot, slowlogLen int, sm *shard.Metrics) error {
 	p := &promWriter{w: w}
 
 	p.header("ndss_uptime_seconds", "Seconds since the server started.", "gauge")
@@ -99,6 +100,8 @@ func (m *metrics) writePrometheus(w io.Writer, cacheLen, cacheCap int, ix indexS
 	p.sample("ndss_requests_rejected_total", "", float64(m.rejected.Load()))
 	p.header("ndss_requests_refused_total", "Requests refused while shutting down (503).", "counter")
 	p.sample("ndss_requests_refused_total", "", float64(m.refused.Load()))
+	p.header("ndss_requests_too_large_total", "Requests rejected for an over-limit body (413).", "counter")
+	p.sample("ndss_requests_too_large_total", "", float64(m.tooLarge.Load()))
 
 	p.header("ndss_request_duration_seconds", "Admitted request latency by endpoint and outcome.", "histogram")
 	for e := endpoint(0); e < numEndpoints; e++ {
@@ -159,6 +162,33 @@ func (m *metrics) writePrometheus(w io.Writer, cacheLen, cacheCap int, ix indexS
 
 	p.header("ndss_slowlog_entries", "Traces held by the slow-query flight recorder.", "gauge")
 	p.sample("ndss_slowlog_entries", "", float64(slowlogLen))
+
+	if sm != nil {
+		// Scatter–gather fan-out accounting (sharded backends only).
+		// Shard label values come from the serving topology (index dirs
+		// or URLs fixed at startup), never from request data.
+		p.header("ndss_shard_requests_total", "Fan-out query legs per shard.", "counter")
+		for _, sh := range sm.Shards {
+			p.sample("ndss_shard_requests_total",
+				fmt.Sprintf(`shard=%q`, escapeLabelValue(sh.Shard)), float64(sh.Requests))
+		}
+		p.header("ndss_shard_errors_total", "Fan-out query legs that failed or missed their budget, per shard.", "counter")
+		for _, sh := range sm.Shards {
+			p.sample("ndss_shard_errors_total",
+				fmt.Sprintf(`shard=%q`, escapeLabelValue(sh.Shard)), float64(sh.Errors))
+		}
+		p.header("ndss_shard_partial_results_total", "Queries answered with at least one shard missing.", "counter")
+		p.sample("ndss_shard_partial_results_total", "", float64(sm.PartialResults))
+		p.header("ndss_shard_request_duration_seconds", "Fan-out leg latency per shard.", "histogram")
+		for _, sh := range sm.Shards {
+			if sh.LatencyCount == 0 {
+				continue // keep the exposition compact: only shards that served
+			}
+			p.histogramSamples("ndss_shard_request_duration_seconds",
+				fmt.Sprintf(`shard=%q`, escapeLabelValue(sh.Shard)),
+				sh.LatencyBuckets, sh.LatencyCount, sh.LatencySumNS)
+		}
+	}
 
 	rt := sampleRuntime()
 	p.header("go_goroutines", "Number of goroutines.", "gauge")

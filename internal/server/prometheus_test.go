@@ -414,7 +414,7 @@ func TestHistogramConcurrentConsistency(t *testing.T) {
 				return
 			default:
 			}
-			m.snapshot(0, 0, indexSnapshot{})
+			m.snapshot(0, 0, indexSnapshot{}, nil)
 		}
 	}()
 

@@ -62,11 +62,13 @@ func healthzBuildID(t *testing.T, ts *httptest.Server) string {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var body map[string]string
+	var body struct {
+		BuildID string `json:"build_id"`
+	}
 	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
 		t.Fatal(err)
 	}
-	return body["build_id"]
+	return body.BuildID
 }
 
 func TestReloadSwapsBuild(t *testing.T) {
@@ -218,7 +220,7 @@ func (b *stubBackend) SearchTopKContext(ctx context.Context, q []uint32, o searc
 	return b.SearchContext(ctx, q, o.Search)
 }
 
-func (b *stubBackend) Explain(q []uint32, o search.Options) (*search.Plan, error) {
+func (b *stubBackend) Explain(ctx context.Context, q []uint32, o search.Options) (*search.Plan, error) {
 	return &search.Plan{}, nil
 }
 

@@ -60,6 +60,7 @@ import (
 	"ndss/internal/hash"
 	"ndss/internal/index"
 	"ndss/internal/search"
+	"ndss/internal/shard"
 )
 
 // Backend is the query surface the server needs. *core.Engine satisfies
@@ -68,7 +69,7 @@ import (
 type Backend interface {
 	SearchContext(ctx context.Context, query []uint32, opts search.Options) ([]search.Match, *search.Stats, error)
 	SearchTopKContext(ctx context.Context, query []uint32, opts search.TopKOptions) ([]search.Match, *search.Stats, error)
-	Explain(query []uint32, opts search.Options) (*search.Plan, error)
+	Explain(ctx context.Context, query []uint32, opts search.Options) (*search.Plan, error)
 	Meta() index.Meta
 	Family() *hash.Family
 	IOStats() index.IOStats
@@ -94,10 +95,11 @@ type Config struct {
 	// Nil disables hot reload (the endpoint answers 501).
 	Reloader func() (Backend, error)
 	// Ingester appends new texts to the index as a fresh segment (the
-	// POST /ingest mutation). It runs with the old backend still
-	// serving; the server hot-swaps via Reloader once it returns, so
-	// Ingester requires Reloader. Nil disables ingest (501).
-	Ingester func(texts [][]uint32) error
+	// POST /ingest mutation) and reports the committed build id. It runs
+	// with the old backend still serving; the server hot-swaps via
+	// Reloader once it returns, so Ingester requires Reloader. Nil
+	// disables ingest (501).
+	Ingester func(texts [][]uint32) (buildID string, err error)
 	// Compactor merges the index's segment set into one segment (the
 	// POST /admin/compact mutation), hot-swapped like Ingester. Nil
 	// disables compaction (501).
@@ -295,6 +297,33 @@ var ErrNoIngester = errors.New("server: no ingester configured")
 // without a Compactor.
 var ErrNoCompactor = errors.New("server: no compactor configured")
 
+// SwapError reports a mutation that durably committed a new index build
+// but failed to swap a reloaded backend into service. The mutation is
+// NOT safe to retry blindly: the texts (or the compaction) are already
+// part of the on-disk index under CommittedBuildID, so a re-ingest of
+// the same texts would duplicate them. The right recovery is to retry
+// the swap alone (POST /admin/reload) and confirm the reported build id
+// is serving. Unwrap exposes the reload failure.
+type SwapError struct {
+	// Op is the mutation that committed: "ingest" or "compact".
+	Op string
+	// CommittedBuildID is the build the mutation committed on disk
+	// ("" for compact, whose compactor does not report one).
+	CommittedBuildID string
+	// Err is the reload failure that left the old backend serving.
+	Err error
+}
+
+func (e *SwapError) Error() string {
+	if e.CommittedBuildID != "" {
+		return fmt.Sprintf("server: %s committed build %s but backend swap failed (do not re-run the %s; reload instead): %v",
+			e.Op, e.CommittedBuildID, e.Op, e.Err)
+	}
+	return fmt.Sprintf("server: %s committed but backend swap failed (reload instead of re-running): %v", e.Op, e.Err)
+}
+
+func (e *SwapError) Unwrap() error { return e.Err }
+
 // Ingest appends texts to the index as a fresh segment and hot-swaps to
 // a backend that serves them; on return the texts are searchable. The
 // old backend keeps serving throughout — an append only writes new
@@ -307,12 +336,21 @@ func (s *Server) Ingest(texts [][]uint32) (buildID string, err error) {
 	}
 	s.mutateMu.Lock()
 	defer s.mutateMu.Unlock()
-	if err := s.cfg.Ingester(texts); err != nil {
+	committedID, err := s.cfg.Ingester(texts)
+	if err != nil {
+		// Nothing committed: the append failed before its manifest
+		// rename, so retrying this exact ingest is safe.
 		return "", fmt.Errorf("server: ingest: %w", err)
 	}
 	_, newID, err := s.Reload()
 	if err != nil {
-		return "", err
+		// The append IS durable — only the swap failed. Surface the
+		// committed build id and a typed error so callers don't retry
+		// the append (which would duplicate the texts) when a plain
+		// reload is what's needed.
+		s.log.Error("ingest committed but backend swap failed; reload to serve it, do not re-ingest",
+			"committed_build_id", committedID, "texts", len(texts), "error", err)
+		return committedID, &SwapError{Op: "ingest", CommittedBuildID: committedID, Err: err}
 	}
 	s.met.ingests.Add(1)
 	s.log.Info("ingested texts", "texts", len(texts), "build_id", newID)
@@ -339,7 +377,9 @@ func (s *Server) compactLocked() (string, error) {
 	}
 	_, newID, err := s.Reload()
 	if err != nil {
-		return "", err
+		s.log.Error("compaction committed but backend swap failed; reload to serve it",
+			"error", err)
+		return "", &SwapError{Op: "compact", Err: err}
 	}
 	s.met.compactions.Add(1)
 	s.log.Info("index compacted", "build_id", newID)
@@ -399,10 +439,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req ingestRequest
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 256<<20))
+	// The real ResponseWriter must reach MaxBytesReader: on an over-limit
+	// body it sets Connection: close, so the unread bytes cannot desync
+	// the next keep-alive request on this connection.
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		s.writeError(w, r, http.StatusBadRequest, fmt.Sprintf("decode request: %v", err))
+		s.writeError(w, r, decodeStatus(err), fmt.Sprintf("decode request: %v", err))
 		return
 	}
 	if len(req.Texts) == 0 {
@@ -416,9 +459,21 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	buildID, err := s.Ingest(req.Texts)
+	var swapErr *SwapError
 	switch {
 	case errors.Is(err, ErrNoIngester):
 		s.writeError(w, r, http.StatusNotImplemented, ErrNoIngester.Error())
+	case errors.As(err, &swapErr):
+		// The append is durable; only the serving swap failed. Tell the
+		// client exactly that, with the committed build id, so its retry
+		// is a reload — not a duplicate ingest.
+		s.met.internals.Add(1)
+		writeJSON(w, http.StatusInternalServerError, map[string]any{
+			"error":              swapErr.Error(),
+			"status":             "committed_swap_failed",
+			"committed_build_id": swapErr.CommittedBuildID,
+			"request_id":         RequestIDFromContext(r.Context()),
+		})
 	case err != nil:
 		s.writeError(w, r, http.StatusInternalServerError, err.Error())
 	default:
@@ -546,6 +601,12 @@ type statsJSON struct {
 	CPUTimeNS  int64          `json:"cpu_time_ns"`
 	TotalNS    int64          `json:"total_ns"`
 	Stages     stageTimesJSON `json:"stages"`
+
+	// Scatter–gather attribution, present only for sharded backends.
+	// shards_answered < shards_total flags a partial result.
+	ShardsTotal    int                 `json:"shards_total,omitempty"`
+	ShardsAnswered int                 `json:"shards_answered,omitempty"`
+	PerShard       []search.ShardStats `json:"per_shard,omitempty"`
 }
 
 type searchResponse struct {
@@ -583,6 +644,8 @@ func toStatsJSON(st search.Stats) statsJSON {
 		Candidates: st.Candidates, Probed: st.Probed, Matches: st.Matches,
 		IOBytes: st.IOBytes, IOTimeNS: int64(st.IOTime), CPUTimeNS: int64(st.CPUTime),
 		TotalNS: int64(st.Total), Stages: toStageTimesJSON(st.StageTimes),
+		ShardsTotal: st.ShardsTotal, ShardsAnswered: st.ShardsAnswered,
+		PerShard: st.PerShard,
 	}
 }
 
@@ -596,6 +659,8 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, 
 	switch status {
 	case http.StatusBadRequest:
 		s.met.badInput.Add(1)
+	case http.StatusRequestEntityTooLarge:
+		s.met.tooLarge.Add(1)
 	case http.StatusTooManyRequests:
 		s.met.rejected.Add(1)
 	case http.StatusServiceUnavailable:
@@ -608,9 +673,31 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, 
 	writeJSON(w, status, errorResponse{Error: msg, RequestID: RequestIDFromContext(r.Context())})
 }
 
+// maxQueryBodyBytes and maxIngestBodyBytes cap request bodies. They are
+// package variables only so the over-limit regression tests can shrink
+// them to practical sizes.
+var (
+	maxQueryBodyBytes  int64 = 64 << 20
+	maxIngestBodyBytes int64 = 256 << 20
+)
+
+// decodeStatus maps a request-decoding error to its HTTP status: an
+// over-limit body is the client sending too much (413), anything else
+// is a malformed request (400).
+func decodeStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
 // decodeRequest parses a query request from a POST JSON body, or — for
-// /explain convenience — from URL query parameters on GET.
-func decodeRequest(r *http.Request) (searchRequest, error) {
+// /explain convenience — from URL query parameters on GET. The
+// ResponseWriter is handed to MaxBytesReader so an over-limit body
+// closes the connection instead of leaving unread bytes to desync
+// keep-alive.
+func decodeRequest(w http.ResponseWriter, r *http.Request) (searchRequest, error) {
 	var req searchRequest
 	if r.Method == http.MethodGet {
 		q := r.URL.Query()
@@ -628,7 +715,7 @@ func decodeRequest(r *http.Request) (searchRequest, error) {
 		req.CostBased = q.Get("cost_based") == "true" || q.Get("cost_based") == "1"
 		return req, nil
 	}
-	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 64<<20))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxQueryBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		return req, fmt.Errorf("decode request: %w", err)
@@ -690,9 +777,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	req, err := decodeRequest(r)
+	req, err := decodeRequest(w, r)
 	if err != nil {
-		s.writeError(w, r, http.StatusBadRequest, err.Error())
+		s.writeError(w, r, decodeStatus(err), err.Error())
 		return
 	}
 	s.serveQuery(w, r, req, false)
@@ -704,9 +791,9 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	req, err := decodeRequest(r)
+	req, err := decodeRequest(w, r)
 	if err != nil {
-		s.writeError(w, r, http.StatusBadRequest, err.Error())
+		s.writeError(w, r, decodeStatus(err), err.Error())
 		return
 	}
 	if req.N <= 0 {
@@ -859,7 +946,7 @@ func (s *Server) recordQuery(r *http.Request, ep endpoint, req searchRequest, st
 	}
 	if t := s.cfg.SlowQueryThreshold; t > 0 && dur >= t {
 		d := st.StageTimes
-		s.log.LogAttrs(r.Context(), slog.LevelWarn, "slow query",
+		attrs := []slog.Attr{
 			slog.String("request_id", id),
 			slog.String("endpoint", ep.String()),
 			slog.Duration("duration", dur),
@@ -874,7 +961,14 @@ func (s *Server) recordQuery(r *http.Request, ep endpoint, req searchRequest, st
 			slog.Duration("io", st.IOTime),
 			slog.Int64("io_bytes", st.IOBytes),
 			slog.Int("matches", st.Matches),
-		)
+		}
+		if st.ShardsTotal > 0 {
+			attrs = append(attrs,
+				slog.Int("shards_total", st.ShardsTotal),
+				slog.Int("shards_answered", st.ShardsAnswered),
+			)
+		}
+		s.log.LogAttrs(r.Context(), slog.LevelWarn, "slow query", attrs...)
 	}
 }
 
@@ -892,9 +986,9 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusMethodNotAllowed, "GET or POST required")
 		return
 	}
-	req, err := decodeRequest(r)
+	req, err := decodeRequest(w, r)
 	if err != nil {
-		s.writeError(w, r, http.StatusBadRequest, err.Error())
+		s.writeError(w, r, decodeStatus(err), err.Error())
 		return
 	}
 	if len(req.Tokens) == 0 {
@@ -913,7 +1007,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	defer func() { s.met.observe(epExplain, out, time.Since(start)) }()
 	backend, releaseBackend := s.acquire()
 	defer releaseBackend()
-	plan, err := backend.Explain(req.Tokens, req.options())
+	plan, err := backend.Explain(r.Context(), req.Tokens, req.options())
 	if err != nil {
 		out = outBadRequest
 		s.writeError(w, r, http.StatusBadRequest, err.Error())
@@ -930,14 +1024,21 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	buildID := s.backend().BuildID()
+	b := s.backend()
+	buildID := b.BuildID()
+	// The index metadata is additive: shard coordinators discover a
+	// remote's K/Seed/T/NumTexts here to validate the shard set and
+	// assign text-id bases before the first query.
+	meta := b.Meta()
 	if s.closing.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
-			"status": "shutting_down", "build_id": buildID,
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "shutting_down", "build_id": buildID, "index": meta,
 		})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "build_id": buildID})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok", "build_id": buildID, "index": meta,
+	})
 }
 
 // wantsJSON implements /metrics content negotiation: JSON only when the
@@ -960,12 +1061,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		BytesRead: ios.BytesRead, ReadTimeNS: int64(ios.ReadTime),
 		Segments: segmentCount(b),
 	}
+	// A sharded backend (the scatter–gather coordinator) additionally
+	// exposes per-shard request counters, discovered structurally so the
+	// server keeps working with any Backend.
+	var sm *shard.Metrics
+	if p, ok := b.(interface{ ShardMetrics() shard.Metrics }); ok {
+		snap := p.ShardMetrics()
+		sm = &snap
+	}
 	if wantsJSON(r) {
-		writeJSON(w, http.StatusOK, s.met.snapshot(cacheLen, cacheCap, ix))
+		writeJSON(w, http.StatusOK, s.met.snapshot(cacheLen, cacheCap, ix, sm))
 		return
 	}
 	w.Header().Set("Content-Type", promContentType)
-	s.met.writePrometheus(w, cacheLen, cacheCap, ix, s.slow.len())
+	s.met.writePrometheus(w, cacheLen, cacheCap, ix, s.slow.len(), sm)
 }
 
 // handleSlowlog serves the flight recorder: the slowest and the most

@@ -278,6 +278,13 @@ type searcherBackend struct {
 	ix search.IndexReader
 }
 
+func (b searcherBackend) Explain(ctx context.Context, q []uint32, o search.Options) (*search.Plan, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return b.Searcher.Explain(q, o)
+}
+
 func (b searcherBackend) Meta() index.Meta       { return b.ix.Meta() }
 func (b searcherBackend) Family() *hash.Family   { return b.ix.Family() }
 func (b searcherBackend) IOStats() index.IOStats { return b.ix.IOStats() }

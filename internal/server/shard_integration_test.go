@@ -1,0 +1,281 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"ndss/internal/core"
+	"ndss/internal/corpus"
+	"ndss/internal/hash"
+	"ndss/internal/index"
+	"ndss/internal/search"
+	"ndss/internal/shard"
+)
+
+// End-to-end sharded serving: a shard.Coordinator is just another
+// Backend, so a server over two shards must answer /search and
+// /search/topk byte-identically to a server over the merged index, and
+// /metrics must expose the per-shard fan-out series.
+
+// shardedServerFixture builds one corpus, serves it whole through one
+// server and split into two doc-range shards through another.
+func shardedServerFixture(t *testing.T, cfg shard.Config) (singleTS, shardedTS *httptest.Server, q []uint32) {
+	t.Helper()
+	c := corpus.MustSynthesize(corpus.SynthConfig{
+		NumTexts: 40, MinLength: 40, MaxLength: 120, VocabSize: 40,
+		ZipfS: 1.3, Seed: 7, DupRate: 0.6, DupSnippetLen: 20, DupMutateProb: 0.05,
+	})
+	texts := make([][]uint32, c.NumTexts())
+	for i := range texts {
+		texts[i] = c.Text(uint32(i))
+	}
+	open := func(sub [][]uint32) *core.Engine {
+		t.Helper()
+		dir := t.TempDir()
+		cc := corpus.New(sub)
+		if _, err := index.Build(cc, dir, index.BuildOptions{K: 8, Seed: 21, T: 5}); err != nil {
+			t.Fatal(err)
+		}
+		e, err := core.Open(dir, cc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+
+	single := open(texts)
+	t.Cleanup(func() { single.Close() })
+	singleTS = httptest.NewServer(New(single, Config{}))
+	t.Cleanup(singleTS.Close)
+
+	coord, err := shard.NewCoordinator([]shard.ShardClient{
+		shard.NewLocal("s0", open(texts[:20])),
+		shard.NewLocal("s1", open(texts[20:])),
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { coord.Close() })
+	shardedTS = httptest.NewServer(New(coord, Config{}))
+	t.Cleanup(shardedTS.Close)
+	return singleTS, shardedTS, texts[25][:12]
+}
+
+func TestShardedServerMatchesSingleServer(t *testing.T) {
+	singleTS, shardedTS, q := shardedServerFixture(t, shard.Config{})
+	for _, tc := range []struct {
+		path string
+		req  searchRequest
+	}{
+		{"/search", searchRequest{Tokens: q, Theta: 0.5}},
+		{"/search", searchRequest{Tokens: q, Theta: 0.8, Verify: true}},
+		{"/search/topk", searchRequest{Tokens: q, N: 5}},
+	} {
+		resp, body := postJSON(t, singleTS.Client(), singleTS.URL+tc.path, tc.req)
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s single: %d (%s)", tc.path, resp.StatusCode, body)
+		}
+		var want searchResponse
+		if err := json.Unmarshal(body, &want); err != nil {
+			t.Fatal(err)
+		}
+		resp, body = postJSON(t, shardedTS.Client(), shardedTS.URL+tc.path, tc.req)
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s sharded: %d (%s)", tc.path, resp.StatusCode, body)
+		}
+		var got searchResponse
+		if err := json.Unmarshal(body, &got); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Matches, want.Matches) {
+			t.Errorf("%s %+v: sharded matches diverge:\n got %+v\nwant %+v", tc.path, tc.req, got.Matches, want.Matches)
+		}
+		if got.Stats.ShardsTotal != 2 || got.Stats.ShardsAnswered != 2 {
+			t.Errorf("%s: sharded stats report %d/%d shards", tc.path, got.Stats.ShardsAnswered, got.Stats.ShardsTotal)
+		}
+		if len(got.Stats.PerShard) != 2 || got.Stats.PerShard[0].Shard != "s0" {
+			t.Errorf("%s: per-shard attribution missing: %+v", tc.path, got.Stats.PerShard)
+		}
+		if want.Stats.ShardsTotal != 0 {
+			t.Errorf("%s: single-index stats unexpectedly sharded: %+v", tc.path, want.Stats)
+		}
+	}
+
+	// The sharded healthz advertises the combined build id and the
+	// aggregate index metadata.
+	resp, err := shardedTS.Client().Get(shardedTS.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hz struct {
+		BuildID string     `json:"build_id"`
+		Index   index.Meta `json:"index"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(hz.BuildID, "sharded-2-") {
+		t.Errorf("sharded healthz build_id = %q", hz.BuildID)
+	}
+	if hz.Index.NumTexts != 40 {
+		t.Errorf("sharded healthz index meta = %+v, want 40 texts", hz.Index)
+	}
+}
+
+func TestShardedServerMetricsExposition(t *testing.T) {
+	_, shardedTS, q := shardedServerFixture(t, shard.Config{})
+	for i := 0; i < 3; i++ {
+		resp, body := postJSON(t, shardedTS.Client(), shardedTS.URL+"/search", searchRequest{Tokens: q, Theta: 0.5})
+		if resp.StatusCode != 200 {
+			t.Fatalf("search %d: %d (%s)", i, resp.StatusCode, body)
+		}
+	}
+	resp, err := shardedTS.Client().Get(shardedTS.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	// Repeats of the same query are served from cache and cause no
+	// fan-out, so exactly one leg per shard.
+	for _, want := range []string{
+		`ndss_shard_requests_total{shard="s0"} 1`,
+		`ndss_shard_requests_total{shard="s1"} 1`,
+		`ndss_shard_errors_total{shard="s0"} 0`,
+		"ndss_shard_partial_results_total 0",
+		`ndss_shard_request_duration_seconds_count{shard="s0"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("sharded /metrics missing %q", want)
+		}
+	}
+
+	// The JSON rendering carries the same counters.
+	jresp := getMetricsJSON(t, shardedTS.Client(), shardedTS.URL)
+	defer jresp.Body.Close()
+	var met struct {
+		Shards struct {
+			PartialResults int64 `json:"partial_results"`
+			Shards         []struct {
+				Shard    string `json:"shard"`
+				Requests int64  `json:"requests"`
+			} `json:"shards"`
+		} `json:"shards"`
+	}
+	if err := json.NewDecoder(jresp.Body).Decode(&met); err != nil {
+		t.Fatal(err)
+	}
+	if len(met.Shards.Shards) != 2 || met.Shards.Shards[0].Requests != 1 {
+		t.Errorf("JSON metrics shards = %+v", met.Shards)
+	}
+}
+
+// slowShardBackend answers instantly or parks until its context is
+// canceled, for driving budget-miss partials through the full server.
+type slowShardBackend struct {
+	fam   *hash.Family
+	slow  bool
+	match search.Match
+}
+
+func newSlowShardBackend(t *testing.T, slow bool, matchID uint32) *slowShardBackend {
+	t.Helper()
+	fam, err := hash.NewFamily(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &slowShardBackend{fam: fam, slow: slow, match: search.Match{TextID: matchID, Collisions: 8, EstJaccard: 1}}
+}
+
+func (b *slowShardBackend) SearchContext(ctx context.Context, q []uint32, o search.Options) ([]search.Match, *search.Stats, error) {
+	if b.slow {
+		<-ctx.Done()
+		return nil, nil, ctx.Err()
+	}
+	return []search.Match{b.match}, &search.Stats{Matches: 1}, nil
+}
+
+func (b *slowShardBackend) SearchTopKContext(ctx context.Context, q []uint32, o search.TopKOptions) ([]search.Match, *search.Stats, error) {
+	return b.SearchContext(ctx, q, o.Search)
+}
+
+func (b *slowShardBackend) Explain(ctx context.Context, q []uint32, o search.Options) (*search.Plan, error) {
+	return &search.Plan{}, nil
+}
+
+func (b *slowShardBackend) Meta() index.Meta       { return index.Meta{K: 8, Seed: 1, T: 2, NumTexts: 5} }
+func (b *slowShardBackend) Family() *hash.Family   { return b.fam }
+func (b *slowShardBackend) IOStats() index.IOStats { return index.IOStats{} }
+func (b *slowShardBackend) BuildID() string        { return "stub" }
+
+// TestShardedServerPartialResult is the acceptance check for deadline
+// partials through the whole stack: a shard missing its budget yields a
+// 200 flagged partial — not an error — and increments
+// ndss_shard_partial_results_total.
+func TestShardedServerPartialResult(t *testing.T) {
+	coord, err := shard.NewCoordinator([]shard.ShardClient{
+		shard.NewLocal("fast", newSlowShardBackend(t, false, 2)),
+		shard.NewLocal("slow", newSlowShardBackend(t, true, 0)),
+	}, shard.Config{ShardBudget: 25 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(coord, Config{CacheEntries: -1})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/search", searchRequest{Tokens: []uint32{1, 2, 3}, Theta: 0.5})
+	if resp.StatusCode != 200 {
+		t.Fatalf("partial query: %d (%s), want 200", resp.StatusCode, body)
+	}
+	var sr searchResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Matches) != 1 || sr.Matches[0].TextID != 2 {
+		t.Fatalf("partial matches = %+v, want the fast shard's text 2", sr.Matches)
+	}
+	if sr.Stats.ShardsTotal != 2 || sr.Stats.ShardsAnswered != 1 {
+		t.Fatalf("partial stats = %d/%d, want 1/2", sr.Stats.ShardsAnswered, sr.Stats.ShardsTotal)
+	}
+	var slowPS *search.ShardStats
+	for i := range sr.Stats.PerShard {
+		if sr.Stats.PerShard[i].Shard == "slow" {
+			slowPS = &sr.Stats.PerShard[i]
+		}
+	}
+	if slowPS == nil || slowPS.Answered || slowPS.Err == "" {
+		t.Fatalf("slow shard not flagged in per-shard stats: %+v", sr.Stats.PerShard)
+	}
+
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	raw, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		"ndss_shard_partial_results_total 1",
+		`ndss_shard_errors_total{shard="slow"} 1`,
+		`ndss_shard_errors_total{shard="fast"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics after partial missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,393 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ndss/internal/index"
+	"ndss/internal/search"
+)
+
+// DefaultMaxInFlight is the per-shard admission cap when HTTPOptions
+// leaves MaxInFlight zero. Legs beyond the cap queue until a slot frees
+// or the leg's budget expires, so a saturated shard degrades into
+// flagged partial results instead of connection pile-ups.
+const DefaultMaxInFlight = 64
+
+// maxResponseBytes bounds how much of a shard response the client will
+// read (matches the server's own request-body cap).
+const maxResponseBytes = 256 << 20
+
+// HTTPOptions configures an HTTPShard.
+type HTTPOptions struct {
+	// Client issues the requests. Nil selects a client with a cloned
+	// default transport sized for fan-out (keep-alive per shard).
+	Client *http.Client
+	// MaxInFlight caps concurrent requests to this shard; zero selects
+	// DefaultMaxInFlight, negative disables admission.
+	MaxInFlight int
+}
+
+// HTTPShard is a remote shard: an ndss-serve instance spoken to over
+// the existing /search, /search/topk, /explain and /healthz contract.
+// The remote owns its index lifecycle — it hot-reloads behind its own
+// refcounted handle — and this client just re-checks /healthz for the
+// current build id.
+type HTTPShard struct {
+	base string
+	hc   *http.Client
+	sem  chan struct{}
+
+	mu      sync.RWMutex
+	meta    index.Meta
+	buildID string
+
+	ioBytes  atomic.Int64
+	ioTimeNS atomic.Int64
+}
+
+// RemoteError is a non-200 answer from a remote shard.
+type RemoteError struct {
+	Shard  string
+	Status int
+	Msg    string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("shard %s: http %d: %s", e.Shard, e.Status, e.Msg)
+}
+
+// Transient reports whether the failure is load- or lifecycle-related
+// (saturation, drain, deadline) rather than a permanent request error.
+func (e *RemoteError) Transient() bool {
+	switch e.Status {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// NewHTTPShard connects to the ndss-serve instance at baseURL, performs
+// an initial health check, and learns the shard's index metadata from
+// /healthz. The remote must be a current ndss-serve: coordinators need
+// K/Seed/T/NumTexts up front to validate the shard set and assign
+// text-id bases, so a /healthz without index metadata is an error.
+func NewHTTPShard(ctx context.Context, baseURL string, opts HTTPOptions) (*HTTPShard, error) {
+	hc := opts.Client
+	if hc == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConnsPerHost = DefaultMaxInFlight
+		hc = &http.Client{Transport: tr}
+	}
+	inflight := opts.MaxInFlight
+	if inflight == 0 {
+		inflight = DefaultMaxInFlight
+	}
+	h := &HTTPShard{base: strings.TrimRight(baseURL, "/"), hc: hc}
+	if inflight > 0 {
+		h.sem = make(chan struct{}, inflight)
+	}
+	if err := h.CheckHealth(ctx); err != nil {
+		return nil, err
+	}
+	h.mu.RLock()
+	meta := h.meta
+	h.mu.RUnlock()
+	if meta.K == 0 {
+		return nil, fmt.Errorf("shard %s: /healthz reports no index metadata (remote ndss-serve too old for sharded serving)", h.base)
+	}
+	return h, nil
+}
+
+// Name returns the shard's base URL.
+func (h *HTTPShard) Name() string { return h.base }
+
+// Meta returns the index metadata learned from the shard's /healthz.
+func (h *HTTPShard) Meta() index.Meta {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.meta
+}
+
+// BuildID returns the remote's build id as of the last successful
+// health check or query.
+func (h *HTTPShard) BuildID() string {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.buildID
+}
+
+// IOStats reports the cumulative index I/O this client's queries caused
+// on the remote, as accounted by the remote's per-query stats.
+func (h *HTTPShard) IOStats() index.IOStats {
+	return index.IOStats{
+		BytesRead: h.ioBytes.Load(),
+		ReadTime:  time.Duration(h.ioTimeNS.Load()),
+	}
+}
+
+// Close releases idle connections. The remote server is not touched.
+func (h *HTTPShard) Close() error {
+	h.hc.CloseIdleConnections()
+	return nil
+}
+
+// healthzWire is the /healthz response shape this client consumes. The
+// index object is additive server metadata (same JSON shape as
+// index.Meta).
+type healthzWire struct {
+	Status  string      `json:"status"`
+	BuildID string      `json:"build_id"`
+	Index   *index.Meta `json:"index"`
+}
+
+// CheckHealth performs GET /healthz, refreshing the cached build id and
+// index metadata on success. A shard that is shutting down (503) or
+// unreachable reports an error.
+func (h *HTTPShard) CheckHealth(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.base+"/healthz", nil)
+	if err != nil {
+		return fmt.Errorf("shard %s: %w", h.base, err)
+	}
+	resp, err := h.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("shard %s: health: %w", h.base, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return fmt.Errorf("shard %s: health: %w", h.base, err)
+	}
+	var hz healthzWire
+	if err := json.Unmarshal(body, &hz); err != nil {
+		return fmt.Errorf("shard %s: health: bad body: %w", h.base, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return &RemoteError{Shard: h.base, Status: resp.StatusCode, Msg: hz.Status}
+	}
+	h.mu.Lock()
+	h.buildID = hz.BuildID
+	if hz.Index != nil {
+		h.meta = *hz.Index
+	}
+	h.mu.Unlock()
+	return nil
+}
+
+// wireRequest mirrors the server's searchRequest JSON body.
+type wireRequest struct {
+	Tokens            []uint32 `json:"tokens"`
+	Theta             float64  `json:"theta"`
+	MinLength         int      `json:"min_length,omitempty"`
+	PrefixFilter      bool     `json:"prefix_filter,omitempty"`
+	LongListThreshold int      `json:"long_list_threshold,omitempty"`
+	CostBased         bool     `json:"cost_based,omitempty"`
+	Verify            bool     `json:"verify,omitempty"`
+	TimeoutMS         int      `json:"timeout_ms,omitempty"`
+	N                 int      `json:"n,omitempty"`
+	FloorTheta        float64  `json:"floor_theta,omitempty"`
+}
+
+type wireMatch struct {
+	TextID     uint32  `json:"text_id"`
+	Start      int32   `json:"start"`
+	End        int32   `json:"end"`
+	Collisions int     `json:"collisions"`
+	EstJaccard float64 `json:"est_jaccard"`
+	Jaccard    float64 `json:"jaccard"`
+}
+
+type wireStages struct {
+	SketchNS int64 `json:"sketch_ns"`
+	PlanNS   int64 `json:"plan_ns"`
+	GatherNS int64 `json:"gather_ns"`
+	CountNS  int64 `json:"count_ns"`
+	MergeNS  int64 `json:"merge_ns"`
+	VerifyNS int64 `json:"verify_ns"`
+}
+
+type wireStats struct {
+	K          int        `json:"k"`
+	Beta       int        `json:"beta"`
+	ShortLists int        `json:"short_lists"`
+	LongLists  int        `json:"long_lists"`
+	Candidates int        `json:"candidates"`
+	Probed     int        `json:"probed"`
+	Matches    int        `json:"matches"`
+	IOBytes    int64      `json:"io_bytes"`
+	IOTimeNS   int64      `json:"io_time_ns"`
+	CPUTimeNS  int64      `json:"cpu_time_ns"`
+	TotalNS    int64      `json:"total_ns"`
+	Stages     wireStages `json:"stages"`
+}
+
+type wireResponse struct {
+	Matches []wireMatch `json:"matches"`
+	Stats   wireStats   `json:"stats"`
+}
+
+type wireError struct {
+	Error string `json:"error"`
+}
+
+func toWireRequest(query []uint32, opts search.Options) wireRequest {
+	return wireRequest{
+		Tokens:            query,
+		Theta:             opts.Theta,
+		MinLength:         opts.MinLength,
+		PrefixFilter:      opts.PrefixFilter,
+		LongListThreshold: opts.LongListThreshold,
+		CostBased:         opts.CostBasedPrefix,
+		Verify:            opts.Verify,
+	}
+}
+
+// SearchContext runs the query on the remote shard. The context
+// deadline is forwarded as the request's timeout_ms so the remote
+// enforces the same budget server-side.
+func (h *HTTPShard) SearchContext(ctx context.Context, query []uint32, opts search.Options) ([]search.Match, *search.Stats, error) {
+	return h.query(ctx, "/search", toWireRequest(query, opts))
+}
+
+// SearchTopKContext runs the top-k query on the remote shard.
+func (h *HTTPShard) SearchTopKContext(ctx context.Context, query []uint32, opts search.TopKOptions) ([]search.Match, *search.Stats, error) {
+	req := toWireRequest(query, opts.Search)
+	req.N = opts.N
+	req.FloorTheta = opts.FloorTheta
+	return h.query(ctx, "/search/topk", req)
+}
+
+// ExplainContext fetches the deferral plan the remote would run the
+// query with.
+func (h *HTTPShard) ExplainContext(ctx context.Context, query []uint32, opts search.Options) (*search.Plan, error) {
+	release, err := h.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	var plan struct {
+		Beta    int    `json:"beta"`
+		Alpha   int    `json:"alpha"`
+		NumLong int    `json:"num_long"`
+		Cutoff  int    `json:"cutoff"`
+		Long    []bool `json:"long"`
+	}
+	if err := h.post(ctx, "/explain", toWireRequest(query, opts), &plan); err != nil {
+		return nil, err
+	}
+	return &search.Plan{
+		Long: plan.Long, NumLong: plan.NumLong, Cutoff: plan.Cutoff,
+		Beta: plan.Beta, Alpha: plan.Alpha,
+	}, nil
+}
+
+// acquire takes a per-shard admission slot, waiting until one frees or
+// the context expires. The returned release must be called once.
+func (h *HTTPShard) acquire(ctx context.Context) (func(), error) {
+	if h.sem == nil {
+		return func() {}, nil
+	}
+	select {
+	case h.sem <- struct{}{}:
+		return func() { <-h.sem }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (h *HTTPShard) query(ctx context.Context, path string, req wireRequest) ([]search.Match, *search.Stats, error) {
+	release, err := h.acquire(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer release()
+	if dl, ok := ctx.Deadline(); ok {
+		rem := time.Until(dl)
+		if rem <= 0 {
+			return nil, nil, context.DeadlineExceeded
+		}
+		req.TimeoutMS = int(rem / time.Millisecond)
+		if req.TimeoutMS == 0 {
+			req.TimeoutMS = 1
+		}
+	}
+	var resp wireResponse
+	if err := h.post(ctx, path, req, &resp); err != nil {
+		return nil, nil, err
+	}
+	matches := make([]search.Match, len(resp.Matches))
+	for i, m := range resp.Matches {
+		matches[i] = search.Match{
+			TextID: m.TextID, Start: m.Start, End: m.End,
+			Collisions: m.Collisions, EstJaccard: m.EstJaccard, Jaccard: m.Jaccard,
+		}
+	}
+	ws := resp.Stats
+	st := &search.Stats{
+		K: ws.K, Beta: ws.Beta, ShortLists: ws.ShortLists, LongLists: ws.LongLists,
+		Candidates: ws.Candidates, Probed: ws.Probed, Matches: ws.Matches,
+		IOBytes: ws.IOBytes, IOTime: time.Duration(ws.IOTimeNS),
+		CPUTime: time.Duration(ws.CPUTimeNS), Total: time.Duration(ws.TotalNS),
+		StageTimes: search.StageTimes{
+			Sketch: time.Duration(ws.Stages.SketchNS), Plan: time.Duration(ws.Stages.PlanNS),
+			Gather: time.Duration(ws.Stages.GatherNS), Count: time.Duration(ws.Stages.CountNS),
+			Merge: time.Duration(ws.Stages.MergeNS), Verify: time.Duration(ws.Stages.VerifyNS),
+		},
+	}
+	h.ioBytes.Add(st.IOBytes)
+	h.ioTimeNS.Add(int64(st.IOTime))
+	return matches, st, nil
+}
+
+// post issues one JSON POST and decodes the 200 response into out. A
+// non-200 answer becomes a *RemoteError carrying the remote's error
+// string.
+func (h *HTTPShard) post(ctx context.Context, path string, body any, out any) error {
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("shard %s: %w", h.base, err)
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, h.base+path, bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("shard %s: %w", h.base, err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := h.hc.Do(httpReq)
+	if err != nil {
+		// Surface the caller's own cancellation/deadline unwrapped so
+		// the coordinator can classify it.
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return ctxErr
+		}
+		return fmt.Errorf("shard %s: %w", h.base, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return ctxErr
+		}
+		return fmt.Errorf("shard %s: read response: %w", h.base, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var we wireError
+		_ = json.Unmarshal(data, &we) // best effort; fall back to raw body
+		msg := we.Error
+		if msg == "" {
+			msg = strings.TrimSpace(string(data))
+		}
+		return &RemoteError{Shard: h.base, Status: resp.StatusCode, Msg: msg}
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("shard %s: bad response: %w", h.base, err)
+	}
+	return nil
+}

@@ -185,7 +185,7 @@ func (db *DB) SearchTopKContext(ctx context.Context, query []uint32, opts TopKOp
 // Explain returns the plan a query would execute with under opts,
 // without reading any posting lists.
 func (db *DB) Explain(query []uint32, opts SearchOptions) (*QueryPlan, error) {
-	return db.engine.Explain(query, opts)
+	return db.engine.Explain(context.Background(), query, opts)
 }
 
 // IndexStats summarizes the opened index.
