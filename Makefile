@@ -5,7 +5,7 @@
 GO ?= go
 FUZZTIME ?= 2m
 
-.PHONY: all build test race lint vet fmt fuzz-smoke bench bench-check ci
+.PHONY: all build test race lint vet fmt fuzz-smoke bench bench-check chaos-suite ci
 
 all: build
 
@@ -28,6 +28,15 @@ race:
 shard-suite:
 	$(GO) test -race -count=1 ./internal/shard/
 	$(GO) test -race -count=1 -run 'Shard|Partial|BodyLimit|CacheKey|Swap' ./internal/server/
+
+# CI "chaos-suite" job: the netfault scripted-failure harness and the
+# replica-resilience tests under the race detector — replica kills,
+# dead ranges, black holes, breaker/quarantine recovery, and the
+# coordinator-vs-merged-index determinism assertions.
+chaos-suite:
+	$(GO) test -race -count=1 ./internal/shard/netfault/
+	$(GO) test -race -count=1 -run 'Chaos|Replica|Breaker|TokenBucket|QuantileWindow|NextBackoff' ./internal/shard/
+	$(GO) test -race -count=1 -run 'ReloadRace|ReplicaMetrics' ./internal/server/
 
 # CI "lint" job: the invariant analyzers (docs/INVARIANTS.md), both
 # standalone and driven by the go command, plus their fixture tests.
@@ -60,4 +69,4 @@ bench-check:
 	$(GO) run ./cmd/ndss-bench -check BENCH.json
 
 # Everything a merge gate runs.
-ci: race lint shard-suite test
+ci: race lint shard-suite chaos-suite test

@@ -92,6 +92,13 @@ type serveConfig struct {
 	shards        string
 	shardTimeout  time.Duration
 	shardInflight int
+
+	shardRetries    int
+	retryBudget     float64
+	hedgeAfter      time.Duration
+	breakerFailures int
+	breakerCooldown time.Duration
+	probeInterval   time.Duration
 }
 
 func main() {
@@ -110,9 +117,15 @@ func main() {
 	flag.StringVar(&c.logFormat, "log", "text", "log format: text or json")
 	flag.BoolVar(&c.ingest, "ingest", false, "enable POST /ingest and /admin/compact (live segment appends)")
 	flag.IntVar(&c.compactAfter, "compact-after", 8, "with -ingest, auto-compact once the index exceeds this many segments (0 disables)")
-	flag.StringVar(&c.shards, "shards", "", "comma-separated shard list (index directories and/or http(s):// ndss-serve URLs); serves a scatter–gather coordinator over them instead of -index")
+	flag.StringVar(&c.shards, "shards", "", "comma-separated shard list (index directories and/or http(s):// ndss-serve URLs); serves a scatter–gather coordinator over them instead of -index. Separate interchangeable replicas of one shard with | (url1|url2)")
 	flag.DurationVar(&c.shardTimeout, "shard-timeout", 0, "per-shard deadline budget for fan-out legs; shards that miss it are skipped and the result is flagged partial (0 = request deadline only)")
 	flag.IntVar(&c.shardInflight, "shard-inflight", 0, "per-remote-shard concurrent request cap (0 = the shard package default)")
+	flag.IntVar(&c.shardRetries, "shard-retries", 2, "max extra attempts per shard leg after transient failures, each on a different replica (0 disables)")
+	flag.Float64Var(&c.retryBudget, "retry-budget", 0.1, "retry/hedge token earned per primary attempt: sustained extra attempts stay under this fraction of the request rate")
+	flag.DurationVar(&c.hedgeAfter, "hedge-after", 5*time.Millisecond, "hedge a shard leg onto another replica once the first attempt exceeds max(replica streaming P95, this floor) (0 disables)")
+	flag.IntVar(&c.breakerFailures, "breaker-failures", 5, "consecutive failures that open a replica's circuit breaker")
+	flag.DurationVar(&c.breakerCooldown, "breaker-cooldown", time.Second, "how long an open breaker rejects a replica before allowing a half-open trial")
+	flag.DurationVar(&c.probeInterval, "probe-interval", 2*time.Second, "background replica health-probe period; recovered replicas rejoin without traffic (0 disables)")
 	flag.Parse()
 
 	if err := run(c); err != nil {
@@ -174,12 +187,42 @@ func openBackend(idxDir, corpusPath string) (*servedBackend, error) {
 	return &servedBackend{Engine: engine, src: r}, nil
 }
 
+// replicaConfig maps the resilience flags onto shard.ReplicaConfig.
+// The flags use 0 for "off" where that is the intuitive reading; the
+// config uses negative for "off" so its zero value can mean "default".
+func replicaConfig(c serveConfig) shard.ReplicaConfig {
+	cfg := shard.ReplicaConfig{
+		MaxRetries:      c.shardRetries,
+		RetryBudget:     c.retryBudget,
+		HedgeDelayMin:   c.hedgeAfter,
+		BreakerFailures: c.breakerFailures,
+		BreakerCooldown: c.breakerCooldown,
+		ProbeInterval:   c.probeInterval,
+	}
+	if c.shardRetries <= 0 {
+		cfg.MaxRetries = -1
+	}
+	if c.hedgeAfter <= 0 {
+		cfg.HedgeDelayMin = -1
+	}
+	return cfg
+}
+
 // openCoordinator builds the scatter–gather backend for -shards: each
-// comma-separated entry is an http(s):// URL (a remote ndss-serve, its
-// metadata discovered via /healthz) or a local index directory (opened
-// in-process). Text-id bases follow shard order, so the listing order
-// must match the order the shards were split in.
-func openCoordinator(c serveConfig) (server.Backend, error) {
+// comma-separated entry is one doc-range shard — an http(s):// URL (a
+// remote ndss-serve, its metadata discovered via /healthz) or a local
+// index directory (opened in-process). Text-id bases follow shard
+// order, so the listing order must match the order the shards were
+// split in.
+//
+// An entry may list |-separated interchangeable replicas of the same
+// build (url1|url2); those are served through a ReplicaSet with
+// retries, hedging, circuit breakers, and background health probes. A
+// replica that is unreachable at startup joins its group quarantined
+// and enters rotation once a probe reaches it — only a group with no
+// reachable replica at all fails startup, because the coordinator
+// needs each shard's metadata for text-id bases.
+func openCoordinator(c serveConfig, logger *slog.Logger) (server.Backend, error) {
 	var clients []shard.ShardClient
 	ok := false
 	defer func() {
@@ -189,28 +232,67 @@ func openCoordinator(c serveConfig) (server.Backend, error) {
 			}
 		}
 	}()
-	for _, name := range strings.Split(c.shards, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
+	httpOpts := shard.HTTPOptions{MaxInFlight: c.shardInflight}
+	for _, entry := range strings.Split(c.shards, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
 			continue
 		}
-		if strings.HasPrefix(name, "http://") || strings.HasPrefix(name, "https://") {
-			hs, err := shard.NewHTTPShard(context.Background(), name, shard.HTTPOptions{MaxInFlight: c.shardInflight})
+		var names []string
+		for _, name := range strings.Split(entry, "|") {
+			if name = strings.TrimSpace(name); name != "" {
+				names = append(names, name)
+			}
+		}
+		var reps []shard.ShardClient
+		closeReps := func() {
+			for _, r := range reps {
+				_ = r.Close()
+			}
+		}
+		for _, name := range names {
+			if strings.HasPrefix(name, "http://") || strings.HasPrefix(name, "https://") {
+				hs, err := shard.NewHTTPShard(context.Background(), name, httpOpts)
+				if err != nil {
+					if len(names) > 1 {
+						logger.Warn("replica unreachable at startup; starting quarantined until a health probe reaches it",
+							"replica", name, "error", err)
+						reps = append(reps, shard.NewHTTPShardDeferred(name, httpOpts))
+						continue
+					}
+					closeReps()
+					return nil, err
+				}
+				reps = append(reps, hs)
+				continue
+			}
+			b, err := openBackend(name, "")
 			if err != nil {
+				closeReps()
 				return nil, err
 			}
-			clients = append(clients, hs)
+			reps = append(reps, shard.NewLocal(name, b))
+		}
+		switch len(reps) {
+		case 0:
 			continue
+		case 1:
+			clients = append(clients, reps[0])
+		default:
+			rs, err := shard.NewReplicaSet(entry, reps, replicaConfig(c))
+			if err != nil {
+				closeReps()
+				return nil, err
+			}
+			clients = append(clients, rs)
 		}
-		b, err := openBackend(name, "")
-		if err != nil {
-			return nil, err
-		}
-		clients = append(clients, shard.NewLocal(name, b))
 	}
 	coord, err := shard.NewCoordinator(clients, shard.Config{ShardBudget: c.shardTimeout})
 	if err != nil {
 		return nil, err
+	}
+	if c.probeInterval > 0 {
+		coord.StartProbers(context.Background(), c.probeInterval)
 	}
 	ok = true
 	return coord, nil
@@ -248,7 +330,7 @@ func run(c serveConfig) error {
 		if c.corpusPath != "" {
 			return fmt.Errorf("-corpus is incompatible with -shards: configure verification on each shard's own server")
 		}
-		backend, err = openCoordinator(c)
+		backend, err = openCoordinator(c, logger)
 	} else {
 		backend, err = openBackend(c.idxDir, c.corpusPath)
 	}
@@ -283,7 +365,7 @@ func run(c serveConfig) error {
 				// directories, remote shards reconnect and re-learn their
 				// build ids. The server's refcounted handle swaps the new
 				// coordinator in with zero failed requests.
-				return openCoordinator(c)
+				return openCoordinator(c, logger)
 			}
 			return openBackend(c.idxDir, c.corpusPath)
 		},

@@ -207,6 +207,13 @@ type Stats struct {
 	// order, including the shards that missed their budget. Nil for
 	// unsharded queries.
 	PerShard []ShardStats
+
+	// Attempts is a hand-off field between a replica-set shard client
+	// and its coordinator: the client records every replica attempt the
+	// leg made (primary, retries, hedges) here, and the coordinator
+	// moves them into the leg's PerShard entry during merge. Nil
+	// everywhere else.
+	Attempts []ShardAttempt
 }
 
 // Partial reports whether this is a sharded result missing at least one
@@ -236,6 +243,34 @@ type ShardStats struct {
 	Total time.Duration `json:"total_ns"`
 	// StageTimes is the shard's own pipeline decomposition.
 	StageTimes StageTimes `json:"stages"`
+	// Attempts lists every replica attempt behind this shard's answer
+	// when it is served by a replica set: the primary, plus any retries
+	// and hedges. Nil for single-replica shards.
+	Attempts []ShardAttempt `json:"attempts,omitempty"`
+}
+
+// ShardAttempt is one replica-level attempt within a shard leg: which
+// replica was tried, whether it was a retry or a hedge, and how it
+// ended. The slowlog and trace use these to show exactly how a slow
+// sharded query spent its budget.
+type ShardAttempt struct {
+	// Replica is the replica's name (URL or index directory).
+	Replica string `json:"replica"`
+	// ReplicaIdx is the replica's index within its group.
+	ReplicaIdx int `json:"replica_idx"`
+	// Attempt numbers the attempts of one leg from 0 (the primary).
+	Attempt int `json:"attempt"`
+	// Hedge marks a speculative attempt issued because the running one
+	// exceeded the replica's latency quantile, as opposed to a retry
+	// after a failure.
+	Hedge bool `json:"hedge,omitempty"`
+	// Err is why the attempt failed ("" for the winning attempt;
+	// "canceled" for a hedge loser whose request was abandoned).
+	Err string `json:"err,omitempty"`
+	// Start is the attempt's start offset from the leg start.
+	Start time.Duration `json:"start_ns"`
+	// Dur is the attempt's wall time.
+	Dur time.Duration `json:"dur_ns"`
 }
 
 // Searcher answers near-duplicate sequence searches against an opened

@@ -301,6 +301,24 @@ func (m *metrics) snapshot(cacheLen, cacheCap int, ix indexSnapshot, sm *shard.M
 					"sum_ns": sh.LatencySumNS,
 				},
 			}
+			if rs := sh.ReplicaSet; rs != nil {
+				replicas := make([]map[string]any, len(rs.Replicas))
+				for j, r := range rs.Replicas {
+					replicas[j] = map[string]any{
+						"replica":     r.Replica,
+						"build_id":    r.BuildID,
+						"requests":    r.Requests,
+						"errors":      r.Errors,
+						"retries":     r.Retries,
+						"hedges":      r.Hedges,
+						"breaker":     r.Breaker.String(),
+						"quarantined": r.Quarantined,
+					}
+				}
+				shards[i]["replicas"] = replicas
+				shards[i]["hedge_wins"] = rs.HedgeWins
+				shards[i]["retry_budget_denied"] = rs.BudgetDenied
+			}
 		}
 		out["shards"] = map[string]any{
 			"partial_results": sm.PartialResults,

@@ -188,6 +188,73 @@ func (m *metrics) writePrometheus(w io.Writer, cacheLen, cacheCap int, ix indexS
 				fmt.Sprintf(`shard=%q`, escapeLabelValue(sh.Shard)),
 				sh.LatencyBuckets, sh.LatencyCount, sh.LatencySumNS)
 		}
+
+		// Replica-level resilience accounting (shards served by replica
+		// sets only). Replica label values are the configured replica
+		// URLs/directories, never request-derived.
+		writeReplicaFamily := func(name, help, typ string, value func(r shard.ReplicaMetrics) float64) {
+			wrote := false
+			for _, sh := range sm.Shards {
+				if sh.ReplicaSet == nil {
+					continue
+				}
+				if !wrote {
+					p.header(name, help, typ)
+					wrote = true
+				}
+				for _, r := range sh.ReplicaSet.Replicas {
+					p.sample(name, fmt.Sprintf(`shard=%q,replica=%q`,
+						escapeLabelValue(sh.Shard), escapeLabelValue(r.Replica)), value(r))
+				}
+			}
+		}
+		writeReplicaFamily("ndss_shard_replica_requests_total",
+			"Attempts launched at each replica (primaries, retries, hedges).", "counter",
+			func(r shard.ReplicaMetrics) float64 { return float64(r.Requests) })
+		writeReplicaFamily("ndss_shard_replica_errors_total",
+			"Attempts that failed at each replica (cancellations excluded).", "counter",
+			func(r shard.ReplicaMetrics) float64 { return float64(r.Errors) })
+		writeReplicaFamily("ndss_shard_retries_total",
+			"Retry attempts routed to each replica after a transient failure elsewhere.", "counter",
+			func(r shard.ReplicaMetrics) float64 { return float64(r.Retries) })
+		writeReplicaFamily("ndss_shard_hedges_total",
+			"Hedged (speculative) attempts routed to each replica.", "counter",
+			func(r shard.ReplicaMetrics) float64 { return float64(r.Hedges) })
+		writeReplicaFamily("ndss_shard_breaker_state",
+			"Replica circuit-breaker state: 0 closed, 1 half-open, 2 open.", "gauge",
+			func(r shard.ReplicaMetrics) float64 { return float64(r.Breaker) })
+		writeReplicaFamily("ndss_shard_replica_quarantined",
+			"1 while the replica is quarantined for a diverging build id.", "gauge",
+			func(r shard.ReplicaMetrics) float64 {
+				if r.Quarantined {
+					return 1
+				}
+				return 0
+			})
+		wroteSet := false
+		for _, sh := range sm.Shards {
+			if sh.ReplicaSet == nil {
+				continue
+			}
+			if !wroteSet {
+				p.header("ndss_shard_hedge_wins_total", "Legs won by the hedged attempt.", "counter")
+				wroteSet = true
+			}
+			p.sample("ndss_shard_hedge_wins_total",
+				fmt.Sprintf(`shard=%q`, escapeLabelValue(sh.Shard)), float64(sh.ReplicaSet.HedgeWins))
+		}
+		wroteSet = false
+		for _, sh := range sm.Shards {
+			if sh.ReplicaSet == nil {
+				continue
+			}
+			if !wroteSet {
+				p.header("ndss_shard_retry_budget_denied_total", "Retries/hedges suppressed by an exhausted retry budget.", "counter")
+				wroteSet = true
+			}
+			p.sample("ndss_shard_retry_budget_denied_total",
+				fmt.Sprintf(`shard=%q`, escapeLabelValue(sh.Shard)), float64(sh.ReplicaSet.BudgetDenied))
+		}
 	}
 
 	rt := sampleRuntime()

@@ -967,6 +967,25 @@ func (s *Server) recordQuery(r *http.Request, ep endpoint, req searchRequest, st
 				slog.Int("shards_total", st.ShardsTotal),
 				slog.Int("shards_answered", st.ShardsAnswered),
 			)
+			retries, hedges := 0, 0
+			for i := range st.PerShard {
+				for _, a := range st.PerShard[i].Attempts {
+					if a.Attempt == 0 {
+						continue
+					}
+					if a.Hedge {
+						hedges++
+					} else {
+						retries++
+					}
+				}
+			}
+			if retries+hedges > 0 {
+				attrs = append(attrs,
+					slog.Int("shard_retries", retries),
+					slog.Int("shard_hedges", hedges),
+				)
+			}
 		}
 		s.log.LogAttrs(r.Context(), slog.LevelWarn, "slow query", attrs...)
 	}

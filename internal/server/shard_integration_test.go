@@ -4,9 +4,13 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"log/slog"
+	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -187,6 +191,7 @@ type slowShardBackend struct {
 	fam   *hash.Family
 	slow  bool
 	match search.Match
+	err   error // when set, every search fails with it
 }
 
 func newSlowShardBackend(t *testing.T, slow bool, matchID uint32) *slowShardBackend {
@@ -202,6 +207,9 @@ func (b *slowShardBackend) SearchContext(ctx context.Context, q []uint32, o sear
 	if b.slow {
 		<-ctx.Done()
 		return nil, nil, ctx.Err()
+	}
+	if b.err != nil {
+		return nil, nil, b.err
 	}
 	return []search.Match{b.match}, &search.Stats{Matches: 1}, nil
 }
@@ -277,5 +285,240 @@ func TestShardedServerPartialResult(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Errorf("/metrics after partial missing %q", want)
 		}
+	}
+}
+
+// TestShardedServerReloadRace races queries against coordinator
+// hot-swaps through both reload paths — POST /admin/reload and the
+// SIGHUP handler's srv.Reload() — while one shard's index directory is
+// rebuilt under traffic. Zero requests may fail, every response must
+// come from a fully-assembled coordinator (2/2 shards), and /healthz
+// must only ever report a build id the server has actually served.
+func TestShardedServerReloadRace(t *testing.T) {
+	c := corpus.MustSynthesize(corpus.SynthConfig{
+		NumTexts: 40, MinLength: 40, MaxLength: 120, VocabSize: 40,
+		ZipfS: 1.3, Seed: 7, DupRate: 0.6, DupSnippetLen: 20, DupMutateProb: 0.05,
+	})
+	texts := make([][]uint32, c.NumTexts())
+	for i := range texts {
+		texts[i] = c.Text(uint32(i))
+	}
+	d0 := t.TempDir() + "/s0"
+	d1 := t.TempDir() + "/s1"
+	buildCorpusAt(t, corpus.New(texts[:20]), d0)
+	buildCorpusAt(t, corpus.New(texts[20:]), d1)
+
+	openCoord := func() (Backend, error) {
+		e0, err := core.Open(d0, nil)
+		if err != nil {
+			return nil, err
+		}
+		e1, err := core.Open(d1, nil)
+		if err != nil {
+			e0.Close()
+			return nil, err
+		}
+		return shard.NewCoordinator([]shard.ShardClient{
+			shard.NewLocal("s0", e0), shard.NewLocal("s1", e1),
+		}, shard.Config{})
+	}
+	backend, err := openCoord()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(backend, Config{MaxInFlight: 128, CacheEntries: -1, Reloader: openCoord})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	q := texts[25][:12]
+	var (
+		stop     atomic.Bool
+		requests atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		observed = map[string]bool{}
+	)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				resp, body := postJSON(t, ts.Client(), ts.URL+"/search", searchRequest{Tokens: q, Theta: 0.5})
+				requests.Add(1)
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("search failed during reload: %d (%s)", resp.StatusCode, body)
+					return
+				}
+				var sr searchResponse
+				if err := json.Unmarshal(body, &sr); err != nil {
+					t.Error(err)
+					return
+				}
+				if sr.Stats.ShardsTotal != 2 || sr.Stats.ShardsAnswered != 2 {
+					t.Errorf("mid-swap query saw a half-assembled coordinator: %d/%d shards",
+						sr.Stats.ShardsAnswered, sr.Stats.ShardsTotal)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			id := healthzBuildID(t, ts)
+			if !strings.HasPrefix(id, "sharded-2-") {
+				t.Errorf("healthz reported build %q mid-swap", id)
+				return
+			}
+			mu.Lock()
+			observed[id] = true
+			mu.Unlock()
+		}
+	}()
+
+	// Build ids the server has legitimately served: the initial build
+	// plus whatever each swap installed.
+	valid := map[string]bool{backend.BuildID(): true}
+	for i := 0; i < 4; i++ {
+		if i == 2 {
+			// Rebuild shard 1's directory under traffic, so later swaps
+			// change the coordinator build id while the old engine still
+			// serves the previous build.
+			buildCorpusAt(t, corpus.New(texts[10:]), d1)
+		}
+		if i%2 == 0 {
+			resp, body := postJSON(t, ts.Client(), ts.URL+"/admin/reload", struct{}{})
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("reload %d: %d (%s)", i, resp.StatusCode, body)
+			}
+			var rr map[string]string
+			if err := json.Unmarshal(body, &rr); err != nil {
+				t.Fatal(err)
+			}
+			valid[rr["build_id"]] = true
+		} else {
+			// The SIGHUP handler calls Reload directly.
+			_, newID, err := srv.Reload()
+			if err != nil {
+				t.Fatalf("reload %d (signal path): %v", i, err)
+			}
+			valid[newID] = true
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+	if requests.Load() == 0 {
+		t.Fatal("no requests observed")
+	}
+	// The rebuild changed the corpus, so the swap changed the build id.
+	if len(valid) < 2 {
+		t.Fatalf("reloads never changed the build id: %v", valid)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for id := range observed {
+		if !valid[id] {
+			t.Errorf("healthz reported build %q, which no coordinator ever served (valid: %v)", id, valid)
+		}
+	}
+	if id := healthzBuildID(t, ts); !valid[id] {
+		t.Errorf("final healthz build %q not among served builds", id)
+	}
+}
+
+// TestShardedReplicaMetricsExposition drives one query through a
+// replica set whose primary fails transiently and checks the full
+// observability surface: per-replica Prometheus families, replica
+// attempts in the response stats and /debug/slowlog, and the slow-query
+// log's retry/hedge attrs.
+func TestShardedReplicaMetricsExposition(t *testing.T) {
+	failing := newSlowShardBackend(t, false, 1)
+	failing.err = &shard.RemoteError{Shard: "rep0", Status: 503, Msg: "draining"}
+	good := newSlowShardBackend(t, false, 2)
+	rs, err := shard.NewReplicaSet("rset", []shard.ShardClient{
+		shard.NewLocal("rep0", failing), shard.NewLocal("rep1", good),
+	}, shard.ReplicaConfig{
+		MaxRetries: 2, RetryBurst: 10, HedgeDelayMin: -1,
+		BreakerFailures: 100, BreakerCooldown: time.Hour, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := shard.NewCoordinator([]shard.ShardClient{rs}, shard.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { coord.Close() })
+
+	var buf syncBuffer
+	srv := New(coord, Config{
+		CacheEntries:       -1,
+		SlowQueryThreshold: time.Nanosecond, // every query is "slow"
+		Logger:             slog.New(slog.NewTextHandler(&buf, nil)),
+	})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/search", searchRequest{Tokens: []uint32{1, 2, 3}, Theta: 0.5})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("search: %d (%s), the retry should have masked the failure", resp.StatusCode, body)
+	}
+	var sr searchResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Stats.PerShard) != 1 || len(sr.Stats.PerShard[0].Attempts) != 2 {
+		t.Fatalf("response attempts = %+v, want the failed primary plus the retry", sr.Stats.PerShard)
+	}
+
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	raw, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		`ndss_shard_replica_requests_total{shard="rset",replica="rep0"} 1`,
+		`ndss_shard_replica_requests_total{shard="rset",replica="rep1"} 1`,
+		`ndss_shard_replica_errors_total{shard="rset",replica="rep0"} 1`,
+		`ndss_shard_replica_errors_total{shard="rset",replica="rep1"} 0`,
+		`ndss_shard_retries_total{shard="rset",replica="rep1"} 1`,
+		`ndss_shard_hedges_total{shard="rset",replica="rep0"} 0`,
+		`ndss_shard_breaker_state{shard="rset",replica="rep0"} 0`,
+		`ndss_shard_replica_quarantined{shard="rset",replica="rep0"} 0`,
+		`ndss_shard_hedge_wins_total{shard="rset"} 0`,
+		`ndss_shard_retry_budget_denied_total{shard="rset"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	// The whole exposition, new families included, stays format-clean.
+	parsePromExposition(t, text)
+
+	// The slow-query log attributes the retry.
+	logged := buf.String()
+	if !strings.Contains(logged, "shard_retries=1") || !strings.Contains(logged, "shard_hedges=0") {
+		t.Errorf("slow-query log lacks retry attribution: %q", logged)
+	}
+
+	// The flight recorder carries the per-attempt replica breakdown.
+	slresp, err := ts.Client().Get(ts.URL + "/debug/slowlog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slresp.Body.Close()
+	slraw, err := io.ReadAll(slresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(slraw), `"replica":"rep1"`) {
+		t.Errorf("/debug/slowlog entry lacks replica attempts: %s", slraw)
 	}
 }

@@ -1,0 +1,193 @@
+package shard
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	b := &breaker{threshold: 3, cooldown: time.Hour}
+	for i := 0; i < 2; i++ {
+		b.onFailure()
+		if ok, _ := b.allow(); !ok {
+			t.Fatalf("breaker opened after %d failures, threshold is 3", i+1)
+		}
+	}
+	b.onFailure()
+	if b.current() != BreakerOpen {
+		t.Fatalf("state after 3 failures = %v, want open", b.current())
+	}
+	if ok, _ := b.allow(); ok {
+		t.Fatal("open breaker within cooldown must refuse")
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	b := &breaker{threshold: 3, cooldown: time.Hour}
+	b.onFailure()
+	b.onFailure()
+	b.onSuccess()
+	b.onFailure()
+	b.onFailure()
+	if b.current() != BreakerClosed {
+		t.Fatal("non-consecutive failures must not trip the breaker")
+	}
+}
+
+func TestBreakerHalfOpenSingleTrial(t *testing.T) {
+	b := &breaker{threshold: 1, cooldown: time.Millisecond}
+	b.onFailure()
+	if b.current() != BreakerOpen {
+		t.Fatal("threshold 1 breaker should open on first failure")
+	}
+	time.Sleep(2 * time.Millisecond)
+	ok, trial := b.allow()
+	if !ok || !trial {
+		t.Fatalf("allow after cooldown = (%v, %v), want a claimed half-open trial", ok, trial)
+	}
+	if b.current() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half_open", b.current())
+	}
+	// The trial slot is held: a second caller is refused.
+	if ok, _ := b.allow(); ok {
+		t.Fatal("second caller must not get a concurrent half-open trial")
+	}
+	// A failed trial re-opens with a fresh cooldown.
+	b.onFailure()
+	if b.current() != BreakerOpen {
+		t.Fatal("failed trial should re-open the breaker")
+	}
+	time.Sleep(2 * time.Millisecond)
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("cooldown elapsed again; a new trial is due")
+	}
+	b.onSuccess()
+	if b.current() != BreakerClosed {
+		t.Fatal("successful trial should close the breaker")
+	}
+}
+
+func TestBreakerReleaseTrial(t *testing.T) {
+	b := &breaker{threshold: 1, cooldown: time.Millisecond}
+	b.onFailure()
+	time.Sleep(2 * time.Millisecond)
+	if ok, trial := b.allow(); !ok || !trial {
+		t.Fatal("expected to claim the trial")
+	}
+	// The trial attempt was canceled (hedge loser): releasing the slot
+	// lets the next attempt try, instead of wedging until a probe.
+	b.releaseTrial()
+	if ok, trial := b.allow(); !ok || !trial {
+		t.Fatal("released trial slot must be claimable again")
+	}
+}
+
+func TestBreakerResetClosesFromAnyState(t *testing.T) {
+	b := &breaker{threshold: 1, cooldown: time.Hour}
+	b.onFailure()
+	if b.current() != BreakerOpen {
+		t.Fatal("setup: breaker should be open")
+	}
+	b.reset()
+	if b.current() != BreakerClosed {
+		t.Fatal("reset (health probe success) must close the breaker outright")
+	}
+	if ok, trial := b.allow(); !ok || trial {
+		t.Fatal("closed breaker allows without a trial claim")
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	cases := map[BreakerState]string{
+		BreakerClosed: "closed", BreakerHalfOpen: "half_open", BreakerOpen: "open",
+	}
+	for s, want := range cases {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+	// The numeric values are the ndss_shard_breaker_state gauge encoding.
+	if BreakerClosed != 0 || BreakerHalfOpen != 1 || BreakerOpen != 2 {
+		t.Error("breaker gauge encoding changed; update the /metrics docs")
+	}
+}
+
+func TestTokenBucketBudget(t *testing.T) {
+	b := newTokenBucket(2)
+	if !b.take() || !b.take() {
+		t.Fatal("bucket starts full: the first two takes succeed")
+	}
+	if b.take() {
+		t.Fatal("empty bucket must refuse")
+	}
+	// Four primary attempts at 25% budget earn one retry token (0.25 is
+	// exact in binary, so no float drift in the assertion).
+	for i := 0; i < 4; i++ {
+		b.earn(0.25)
+	}
+	if !b.take() {
+		t.Fatal("earned a full token; take should succeed")
+	}
+	if b.take() {
+		t.Fatal("only one token was earned")
+	}
+	// Earnings cap at the burst size.
+	for i := 0; i < 100; i++ {
+		b.earn(1)
+	}
+	if !b.take() || !b.take() {
+		t.Fatal("bucket should be at capacity 2")
+	}
+	if b.take() {
+		t.Fatal("earnings past the burst capacity must not accumulate")
+	}
+}
+
+func TestQuantileWindow(t *testing.T) {
+	var q quantileWindow
+	if q.quantile(0.95) != 0 {
+		t.Fatal("empty window reports 0 (hedge floor applies instead)")
+	}
+	for i := 1; i <= 100; i++ {
+		q.observe(time.Duration(i) * time.Millisecond)
+	}
+	p95 := q.quantile(0.95)
+	if p95 < 90*time.Millisecond || p95 > 100*time.Millisecond {
+		t.Fatalf("P95 of 1..100ms = %v, want ~95ms", p95)
+	}
+	// The window slides: flooding with fast samples forgets the slow ones.
+	for i := 0; i < quantileWindowSize; i++ {
+		q.observe(time.Millisecond)
+	}
+	if got := q.quantile(0.95); got != time.Millisecond {
+		t.Fatalf("P95 after window turnover = %v, want 1ms", got)
+	}
+}
+
+func TestNextBackoffDecorrelatedJitter(t *testing.T) {
+	rng := newLockedRand(1)
+	base, max := time.Millisecond, 50*time.Millisecond
+	prev := time.Duration(0)
+	for i := 0; i < 100; i++ {
+		d := nextBackoff(rng, base, prev, max)
+		if d < base || d > max {
+			t.Fatalf("backoff %v outside [%v, %v]", d, base, max)
+		}
+		prev = d
+	}
+	if nextBackoff(rng, 0, prev, max) != 0 {
+		t.Fatal("zero base disables backoff")
+	}
+}
+
+func TestSleepCtx(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	if !sleepCtx(ctx, 0) {
+		t.Fatal("zero sleep on a live context reports true")
+	}
+	cancel()
+	if sleepCtx(ctx, time.Hour) {
+		t.Fatal("sleep on a dead context returns false immediately")
+	}
+}

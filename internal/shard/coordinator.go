@@ -151,6 +151,20 @@ func (c *Coordinator) CheckHealth(ctx context.Context) error {
 	return errors.Join(errs...)
 }
 
+// StartProbers launches the background health loop of every shard that
+// has one (replica sets): recovered replicas rejoin, diverging builds
+// are quarantined, all without query traffic. The loops stop when ctx
+// is canceled or the coordinator is closed.
+func (c *Coordinator) StartProbers(ctx context.Context, interval time.Duration) {
+	for _, sl := range c.slots {
+		if p, ok := sl.client.(interface {
+			StartProber(ctx context.Context, interval time.Duration)
+		}); ok {
+			p.StartProber(ctx, interval)
+		}
+	}
+}
+
 // Close closes every shard and returns their joined errors.
 func (c *Coordinator) Close() error {
 	errs := make([]error, len(c.slots))
@@ -284,6 +298,13 @@ func (c *Coordinator) merge(ctx context.Context, base obs.Mono, results []legRes
 		r := &results[i]
 		sl := c.slots[i]
 		ps := search.ShardStats{Shard: sl.client.Name(), Total: r.dur}
+		if r.stats != nil {
+			// Replica-set legs hand their attempt log up through the
+			// stats; it belongs on the leg's PerShard entry (and is
+			// recorded even when every attempt failed).
+			ps.Attempts = r.stats.Attempts
+			r.stats.Attempts = nil
+		}
 		if r.err != nil {
 			ps.Err = shardErrString(r.err)
 			st.PerShard[i] = ps
@@ -348,6 +369,21 @@ func (c *Coordinator) merge(ctx context.Context, base obs.Mono, results []legRes
 			tr.Annotate(id, "shard", int64(i))
 			if r.stats != nil {
 				tr.Annotate(id, "io_bytes", r.stats.IOBytes)
+			}
+			// Extra replica attempts (retries and hedges) get their own
+			// spans, offset into the leg, so a traced slow query shows
+			// exactly where the leg's budget went.
+			for _, a := range st.PerShard[i].Attempts {
+				if a.Attempt == 0 {
+					continue
+				}
+				name := "shard_retry"
+				if a.Hedge {
+					name = "shard_hedge"
+				}
+				id := tr.Record(name, r.start+a.Start, a.Dur)
+				tr.Annotate(id, "attempt", int64(a.Attempt))
+				tr.Annotate(id, "replica", int64(a.ReplicaIdx))
 			}
 		}
 		tr.Record("shard_merge", mergeStart.Sub(base), mergeDur)

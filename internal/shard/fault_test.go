@@ -21,12 +21,16 @@ import (
 // stubShard is a controllable ShardClient.
 type stubShard struct {
 	name    string
+	build   string // BuildID override; replicas of one group must share it
 	meta    index.Meta
 	matches []search.Match
 	stats   search.Stats
 	err     error
 	block   bool // park until the leg context is done, then return its error
 	calls   atomic.Int64
+
+	// hook, when set, fully overrides SearchContext (call is 1-based).
+	hook func(ctx context.Context, call int64) ([]search.Match, *search.Stats, error)
 }
 
 func newStubShard(name string, numTexts int, matches ...search.Match) *stubShard {
@@ -38,15 +42,23 @@ func newStubShard(name string, numTexts int, matches ...search.Match) *stubShard
 	}
 }
 
-func (s *stubShard) Name() string                          { return s.name }
-func (s *stubShard) Meta() index.Meta                      { return s.meta }
-func (s *stubShard) BuildID() string                       { return "stub-" + s.name }
+func (s *stubShard) Name() string     { return s.name }
+func (s *stubShard) Meta() index.Meta { return s.meta }
+func (s *stubShard) BuildID() string {
+	if s.build != "" {
+		return s.build
+	}
+	return "stub-" + s.name
+}
 func (s *stubShard) IOStats() index.IOStats                { return index.IOStats{} }
 func (s *stubShard) Close() error                          { return nil }
 func (s *stubShard) CheckHealth(ctx context.Context) error { return ctx.Err() }
 
 func (s *stubShard) SearchContext(ctx context.Context, q []uint32, o search.Options) ([]search.Match, *search.Stats, error) {
-	s.calls.Add(1)
+	call := s.calls.Add(1)
+	if s.hook != nil {
+		return s.hook(ctx, call)
+	}
 	if s.block {
 		<-ctx.Done()
 		return nil, nil, ctx.Err()

@@ -1,0 +1,153 @@
+package shard
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// quantileWindowSize is how many recent latency samples back the
+// streaming quantile estimate. Small enough that the on-demand copy +
+// sort is microseconds, large enough that P95 is meaningful.
+const quantileWindowSize = 128
+
+// quantileWindow is a sliding window of recent request latencies with
+// an on-demand quantile. Only successful attempts are observed — a
+// failing replica's error latency must not drag the hedge trigger
+// around — so the P95 tracks the replica's answering behaviour.
+type quantileWindow struct {
+	mu   sync.Mutex
+	buf  [quantileWindowSize]int64 // ns
+	n    int                       // filled entries
+	next int                       // ring cursor
+}
+
+func (q *quantileWindow) observe(d time.Duration) {
+	q.mu.Lock()
+	q.buf[q.next] = int64(d)
+	q.next = (q.next + 1) % quantileWindowSize
+	if q.n < quantileWindowSize {
+		q.n++
+	}
+	q.mu.Unlock()
+}
+
+// quantile returns the p-quantile (0 < p <= 1) of the window, or 0
+// when no samples have been observed yet.
+func (q *quantileWindow) quantile(p float64) time.Duration {
+	q.mu.Lock()
+	n := q.n
+	var scratch [quantileWindowSize]int64
+	copy(scratch[:n], q.buf[:n])
+	q.mu.Unlock()
+	if n == 0 {
+		return 0
+	}
+	s := scratch[:n]
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(p * float64(n))
+	if i >= n {
+		i = n - 1
+	}
+	return time.Duration(s[i])
+}
+
+// tokenBucket is the retry budget: retries and hedges spend whole
+// tokens, while every primary attempt earns a fractional token
+// (ReplicaConfig.RetryBudget). Sustained extra attempts are therefore
+// capped at that fraction of the recent primary request rate — during
+// a full outage retries cannot amplify load by more than RetryBudget —
+// while the burst capacity lets a brief blip retry immediately.
+type tokenBucket struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+}
+
+func newTokenBucket(burst float64) *tokenBucket {
+	// Start full: the first failures after startup may retry.
+	return &tokenBucket{tokens: burst, max: burst}
+}
+
+func (b *tokenBucket) earn(x float64) {
+	b.mu.Lock()
+	b.tokens += x
+	if b.tokens > b.max {
+		b.tokens = b.max
+	}
+	b.mu.Unlock()
+}
+
+// take consumes one token, reporting false (and consuming nothing)
+// when the budget is exhausted.
+func (b *tokenBucket) take() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// lockedRand is a mutex-guarded rand.Rand: routing and jitter draw
+// from one deterministic stream (seeded per ReplicaSet) so chaos tests
+// replay exactly.
+type lockedRand struct {
+	mu  sync.Mutex
+	rnd *rand.Rand
+}
+
+func newLockedRand(seed int64) *lockedRand {
+	return &lockedRand{rnd: rand.New(rand.NewSource(seed))}
+}
+
+func (r *lockedRand) intn(n int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rnd.Intn(n)
+}
+
+func (r *lockedRand) int63n(n int64) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rnd.Int63n(n)
+}
+
+// nextBackoff computes the decorrelated-jitter backoff ("sleep =
+// min(cap, rand(base, prev*3))", Exponential Backoff And Jitter,
+// AWS Architecture Blog): successive retries spread out over an
+// exponentially growing but randomized interval, so a fleet of
+// coordinators retrying into a recovering shard does not thundering-herd
+// it on synchronized boundaries.
+func nextBackoff(rng *lockedRand, base, prev, max time.Duration) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	hi := prev * 3
+	if hi <= base {
+		hi = base + 1
+	}
+	d := base + time.Duration(rng.int63n(int64(hi-base)))
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// sleepCtx sleeps for d, returning early with false when ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

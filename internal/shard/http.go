@@ -26,6 +26,16 @@ const DefaultMaxInFlight = 64
 // read (matches the server's own request-body cap).
 const maxResponseBytes = 256 << 20
 
+// maxErrorBodyBytes bounds how much of a non-200 response body the
+// client will read for the error message: a misbehaving remote must
+// not balloon coordinator memory just because it is failing.
+const maxErrorBodyBytes = 1 << 20
+
+// DefaultProbeTimeout bounds NewHTTPShard's initial /healthz probe
+// when the caller's context has no deadline of its own, so startup
+// against a black-holed shard URL fails fast instead of hanging.
+const DefaultProbeTimeout = 10 * time.Second
+
 // HTTPOptions configures an HTTPShard.
 type HTTPOptions struct {
 	// Client issues the requests. Nil selects a client with a cloned
@@ -95,7 +105,16 @@ func NewHTTPShard(ctx context.Context, baseURL string, opts HTTPOptions) (*HTTPS
 	if inflight > 0 {
 		h.sem = make(chan struct{}, inflight)
 	}
-	if err := h.CheckHealth(ctx); err != nil {
+	// The initial probe is always bounded: a caller handing us a
+	// deadline-free context (ndss-serve startup does) must not hang
+	// forever on a black-holed shard URL.
+	probeCtx := ctx
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		probeCtx, cancel = context.WithTimeout(ctx, DefaultProbeTimeout)
+		defer cancel()
+	}
+	if err := h.CheckHealth(probeCtx); err != nil {
 		return nil, err
 	}
 	h.mu.RLock()
@@ -105,6 +124,30 @@ func NewHTTPShard(ctx context.Context, baseURL string, opts HTTPOptions) (*HTTPS
 		return nil, fmt.Errorf("shard %s: /healthz reports no index metadata (remote ndss-serve too old for sharded serving)", h.base)
 	}
 	return h, nil
+}
+
+// NewHTTPShardDeferred creates an HTTPShard without the initial health
+// probe: no metadata, no build id, no network touched. It exists for
+// replica groups, where a replica that is down at boot should come up
+// quarantined and join once a health probe reaches it — a plain
+// coordinator shard cannot defer, because text-id bases need NumTexts
+// up front.
+func NewHTTPShardDeferred(baseURL string, opts HTTPOptions) *HTTPShard {
+	hc := opts.Client
+	if hc == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConnsPerHost = DefaultMaxInFlight
+		hc = &http.Client{Transport: tr}
+	}
+	inflight := opts.MaxInFlight
+	if inflight == 0 {
+		inflight = DefaultMaxInFlight
+	}
+	h := &HTTPShard{base: strings.TrimRight(baseURL, "/"), hc: hc}
+	if inflight > 0 {
+		h.sem = make(chan struct{}, inflight)
+	}
+	return h
 }
 
 // Name returns the shard's base URL.
@@ -370,14 +413,11 @@ func (h *HTTPShard) post(ctx context.Context, path string, body any, out any) er
 		return fmt.Errorf("shard %s: %w", h.base, err)
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
-	if err != nil {
-		if ctxErr := ctx.Err(); ctxErr != nil {
-			return ctxErr
-		}
-		return fmt.Errorf("shard %s: read response: %w", h.base, err)
-	}
 	if resp.StatusCode != http.StatusOK {
+		// Error bodies get a much tighter read cap than results: a
+		// failing remote spewing garbage must not occupy result-sized
+		// buffers on the coordinator.
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, maxErrorBodyBytes))
 		var we wireError
 		_ = json.Unmarshal(data, &we) // best effort; fall back to raw body
 		msg := we.Error
@@ -385,6 +425,13 @@ func (h *HTTPShard) post(ctx context.Context, path string, body any, out any) er
 			msg = strings.TrimSpace(string(data))
 		}
 		return &RemoteError{Shard: h.base, Status: resp.StatusCode, Msg: msg}
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return ctxErr
+		}
+		return fmt.Errorf("shard %s: read response: %w", h.base, err)
 	}
 	if err := json.Unmarshal(data, out); err != nil {
 		return fmt.Errorf("shard %s: bad response: %w", h.base, err)

@@ -59,6 +59,38 @@ type ShardMetrics struct {
 	LatencyBuckets [len(LatencyBucketsMS) + 1]int64
 	LatencyCount   int64
 	LatencySumNS   int64
+	// ReplicaSet is the replica-level breakdown when this shard is
+	// served by a ReplicaSet; nil for single-replica shards.
+	ReplicaSet *ReplicaSetMetrics
+}
+
+// ReplicaSetMetrics is one replica group's resilience accounting.
+type ReplicaSetMetrics struct {
+	// HedgeWins counts legs where the speculative second attempt
+	// answered before the first.
+	HedgeWins int64
+	// BudgetDenied counts retries and hedges suppressed by an empty
+	// retry-token bucket.
+	BudgetDenied int64
+	// Replicas holds one entry per replica in configuration order.
+	Replicas []ReplicaMetrics
+}
+
+// ReplicaMetrics is one replica's attempt accounting and routing
+// state. Replica names come from configuration, never from requests,
+// so they are safe as metric label values.
+type ReplicaMetrics struct {
+	Replica  string
+	BuildID  string
+	Requests int64 // every attempt launched at this replica
+	Errors   int64 // attempts that failed (cancellations excluded)
+	Retries  int64 // attempts that were retries of a failed attempt
+	Hedges   int64 // attempts that were speculative hedges
+	// Breaker is the replica's current circuit-breaker state.
+	Breaker BreakerState
+	// Quarantined reports the replica is excluded from routing because
+	// its build id or index metadata diverges from its group.
+	Quarantined bool
 }
 
 // ShardMetrics snapshots the coordinator's per-shard counters. The
@@ -79,6 +111,10 @@ func (c *Coordinator) ShardMetrics() Metrics {
 			LatencyBuckets: buckets,
 			LatencyCount:   count,
 			LatencySumNS:   sumNS,
+		}
+		if rp, ok := sl.client.(interface{ ReplicaMetrics() ReplicaSetMetrics }); ok {
+			rm := rp.ReplicaMetrics()
+			out.Shards[i].ReplicaSet = &rm
 		}
 	}
 	return out

@@ -1,0 +1,235 @@
+// Package netfault is a deterministic network-fault harness for the
+// sharded serving stack: an http.RoundTripper that injects scripted
+// failures per (target, request number), mirroring the fsio FaultFS
+// design for disk faults. Chaos tests script exactly which attempt of
+// which replica sees a delay, a connection reset, a 5xx/429 burst, a
+// black hole, or a torn response body — and then assert the
+// coordinator still produces byte-identical results, reproducibly,
+// with no real network flakiness involved.
+package netfault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+const (
+	// None forwards the request untouched.
+	None Kind = iota
+	// Delay holds the request for Fault.Delay, then forwards it.
+	Delay
+	// Reset fails the request immediately with a connection-reset
+	// error, as if the remote closed the socket.
+	Reset
+	// BlackHole never answers: the request parks until its context is
+	// done. This is the "switch ate my packets" failure a dial timeout
+	// does not model.
+	BlackHole
+	// Status short-circuits with a synthesized HTTP error response
+	// (Fault.Status, e.g. 429/500/503) without touching the remote.
+	Status
+	// Torn forwards the request but cuts the response body after
+	// Fault.KeepBytes, so the client sees a mid-stream failure rather
+	// than a clean error.
+	Torn
+)
+
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Delay:
+		return "delay"
+	case Reset:
+		return "reset"
+	case BlackHole:
+		return "blackhole"
+	case Status:
+		return "status"
+	case Torn:
+		return "torn"
+	}
+	return "unknown"
+}
+
+// Fault is one scripted failure.
+type Fault struct {
+	Kind Kind
+	// Delay is how long a Delay fault holds the request.
+	Delay time.Duration
+	// Status is the synthesized response code of a Status fault.
+	Status int
+	// KeepBytes is how much response body a Torn fault delivers before
+	// cutting the stream.
+	KeepBytes int64
+}
+
+// ErrReset is the injected connection-reset failure. It reaches the
+// caller wrapped in a *url.Error, exactly like a real transport error.
+var ErrReset = errors.New("netfault: connection reset by peer")
+
+// Transport is the fault-injecting http.RoundTripper. Faults are
+// scripted per target host and applied by request arrival order (the
+// n-th request to a target gets the n-th scripted fault; past the end
+// of the script requests pass through). An override set with SetAll
+// takes precedence — that is the "replica killed mid-run" switch.
+//
+// All methods are safe for concurrent use, and the fault chosen for a
+// given (target, request number) is a pure function of the script, so
+// a test run is reproducible end to end.
+type Transport struct {
+	next http.RoundTripper
+
+	mu       sync.Mutex
+	seq      map[string]int
+	script   map[string][]Fault
+	override map[string]*Fault
+}
+
+// New wraps next (nil selects http.DefaultTransport) in a fault
+// injector with an empty script: everything passes through until
+// Script or SetAll say otherwise.
+func New(next http.RoundTripper) *Transport {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &Transport{
+		next:     next,
+		seq:      make(map[string]int),
+		script:   make(map[string][]Fault),
+		override: make(map[string]*Fault),
+	}
+}
+
+// Script appends faults to target's script, consumed one per request
+// in arrival order. target is the host[:port] of the replica URL.
+func (t *Transport) Script(target string, faults ...Fault) {
+	t.mu.Lock()
+	t.script[target] = append(t.script[target], faults...)
+	t.mu.Unlock()
+}
+
+// SetAll makes every subsequent request to target see f, regardless of
+// the script — kill a replica with Reset or BlackHole, revive it with
+// Clear.
+func (t *Transport) SetAll(target string, f Fault) {
+	t.mu.Lock()
+	t.override[target] = &f
+	t.mu.Unlock()
+}
+
+// Clear removes target's override, letting its script (or passthrough)
+// resume.
+func (t *Transport) Clear(target string) {
+	t.mu.Lock()
+	delete(t.override, target)
+	t.mu.Unlock()
+}
+
+// Calls reports how many requests have been routed toward target,
+// including ones that were failed by injection.
+func (t *Transport) Calls(target string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq[target]
+}
+
+func (t *Transport) faultFor(target string) Fault {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.seq[target]
+	t.seq[target] = n + 1
+	if f := t.override[target]; f != nil {
+		return *f
+	}
+	if s := t.script[target]; n < len(s) {
+		return s[n]
+	}
+	return Fault{}
+}
+
+// RoundTrip applies the next scripted fault for the request's target
+// host, forwarding to the wrapped transport when the fault allows it.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f := t.faultFor(req.URL.Host)
+	switch f.Kind {
+	case Delay:
+		timer := time.NewTimer(f.Delay)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			closeBody(req)
+			return nil, req.Context().Err()
+		}
+		return t.next.RoundTrip(req)
+	case Reset:
+		closeBody(req)
+		return nil, ErrReset
+	case BlackHole:
+		<-req.Context().Done()
+		closeBody(req)
+		return nil, req.Context().Err()
+	case Status:
+		closeBody(req)
+		body := fmt.Sprintf("{\"error\":\"netfault: injected %d\"}", f.Status)
+		resp := &http.Response{
+			StatusCode:    f.Status,
+			Status:        fmt.Sprintf("%d %s", f.Status, http.StatusText(f.Status)),
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{"Content-Type": {"application/json"}},
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}
+		return resp, nil
+	case Torn:
+		resp, err := t.next.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		resp.Body = &tornBody{rc: resp.Body, remain: f.KeepBytes}
+		return resp, nil
+	}
+	return t.next.RoundTrip(req)
+}
+
+func closeBody(req *http.Request) {
+	if req.Body != nil {
+		req.Body.Close()
+	}
+}
+
+// tornBody delivers at most remain bytes of the wrapped body, then
+// fails mid-stream the way a dropped connection does.
+type tornBody struct {
+	rc     io.ReadCloser
+	remain int64
+}
+
+func (b *tornBody) Read(p []byte) (int, error) {
+	if b.remain <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if int64(len(p)) > b.remain {
+		p = p[:b.remain]
+	}
+	n, err := b.rc.Read(p)
+	b.remain -= int64(n)
+	if err == nil && b.remain <= 0 {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *tornBody) Close() error { return b.rc.Close() }

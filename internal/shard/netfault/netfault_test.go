@@ -1,0 +1,153 @@
+package netfault
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+)
+
+// upstream spins up a trivial backend answering "hello world" and
+// returns a fault-wrapped client plus the server's host key.
+func upstream(t *testing.T) (*Transport, *http.Client, string, string) {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "hello world")
+	}))
+	t.Cleanup(ts.Close)
+	ft := New(ts.Client().Transport)
+	cl := &http.Client{Transport: ft}
+	u, err := url.Parse(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ft, cl, ts.URL, u.Host
+}
+
+func get(t *testing.T, cl *http.Client, url string) (*http.Response, string, error) {
+	t.Helper()
+	resp, err := cl.Get(url)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp, string(body), err
+}
+
+func TestScriptAppliesInArrivalOrder(t *testing.T) {
+	ft, cl, url, host := upstream(t)
+	ft.Script(host,
+		Fault{Kind: Status, Status: 503},
+		Fault{Kind: None},
+		Fault{Kind: Reset},
+	)
+
+	resp, body, err := get(t, cl, url)
+	if err != nil || resp.StatusCode != 503 {
+		t.Fatalf("request 1: status=%v err=%v, want the scripted 503", resp, err)
+	}
+	if body != `{"error":"netfault: injected 503"}` {
+		t.Fatalf("synthesized body = %q", body)
+	}
+
+	if _, body, err := get(t, cl, url); err != nil || body != "hello world" {
+		t.Fatalf("request 2 (None) = %q, %v; want passthrough", body, err)
+	}
+
+	if _, _, err := get(t, cl, url); !errors.Is(err, ErrReset) {
+		t.Fatalf("request 3: err = %v, want the injected reset inside *url.Error", err)
+	}
+
+	// Past the end of the script: passthrough.
+	if _, body, err := get(t, cl, url); err != nil || body != "hello world" {
+		t.Fatalf("request 4 (script exhausted) = %q, %v; want passthrough", body, err)
+	}
+	if n := ft.Calls(host); n != 4 {
+		t.Fatalf("Calls = %d, want 4 (injected failures count)", n)
+	}
+}
+
+func TestSetAllOverridesScriptUntilCleared(t *testing.T) {
+	ft, cl, url, host := upstream(t)
+	ft.Script(host, Fault{Kind: None}, Fault{Kind: None})
+	ft.SetAll(host, Fault{Kind: Reset}) // kill switch beats the script
+
+	for i := 0; i < 3; i++ {
+		if _, _, err := get(t, cl, url); !errors.Is(err, ErrReset) {
+			t.Fatalf("request %d under SetAll: err = %v, want reset", i, err)
+		}
+	}
+	ft.Clear(host)
+	if _, body, err := get(t, cl, url); err != nil || body != "hello world" {
+		t.Fatalf("after Clear = %q, %v; want the script/passthrough to resume", body, err)
+	}
+}
+
+func TestTornBodyCutsMidStream(t *testing.T) {
+	ft, cl, url, host := upstream(t)
+	ft.Script(host, Fault{Kind: Torn, KeepBytes: 5})
+
+	resp, err := cl.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("reading a torn body: err = %v, want ErrUnexpectedEOF", err)
+	}
+	if string(body) != "hello" {
+		t.Fatalf("delivered %q before the cut, want the first 5 bytes", body)
+	}
+}
+
+func TestBlackHoleParksUntilContextDone(t *testing.T) {
+	ft, cl, url, host := upstream(t)
+	ft.SetAll(host, Fault{Kind: BlackHole})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = cl.Do(req)
+	if err == nil || ctx.Err() == nil {
+		t.Fatalf("black hole answered: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("request failed after %v, want it held until the deadline", elapsed)
+	}
+}
+
+func TestDelayHoldsThenForwards(t *testing.T) {
+	ft, cl, url, host := upstream(t)
+	ft.Script(host, Fault{Kind: Delay, Delay: 30 * time.Millisecond})
+
+	start := time.Now()
+	_, body, err := get(t, cl, url)
+	if err != nil || body != "hello world" {
+		t.Fatalf("delayed request = %q, %v", body, err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("request answered in %v, want the 30ms hold first", elapsed)
+	}
+}
+
+func TestScriptsAreIndependentPerTarget(t *testing.T) {
+	ft, cl, url, host := upstream(t)
+	ft.Script("other-host:1234", Fault{Kind: Reset})
+
+	if _, body, err := get(t, cl, url); err != nil || body != "hello world" {
+		t.Fatalf("another target's script leaked: %q, %v", body, err)
+	}
+	if ft.Calls(host) != 1 || ft.Calls("other-host:1234") != 0 {
+		t.Fatalf("calls = %d/%d, want 1/0", ft.Calls(host), ft.Calls("other-host:1234"))
+	}
+}
