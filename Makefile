@@ -31,12 +31,14 @@ shard-suite:
 
 # CI "chaos-suite" job: the netfault scripted-failure harness and the
 # replica-resilience tests under the race detector — replica kills,
-# dead ranges, black holes, breaker/quarantine recovery, and the
-# coordinator-vs-merged-index determinism assertions.
+# dead ranges, black holes, breaker/quarantine recovery, the
+# coordinator-vs-merged-index determinism assertions, and the
+# distributed-trace acceptance run (scripted retry + hedge must yield
+# one connected trace tree at /debug/trace).
 chaos-suite:
 	$(GO) test -race -count=1 ./internal/shard/netfault/
 	$(GO) test -race -count=1 -run 'Chaos|Replica|Breaker|TokenBucket|QuantileWindow|NextBackoff' ./internal/shard/
-	$(GO) test -race -count=1 -run 'ReloadRace|ReplicaMetrics' ./internal/server/
+	$(GO) test -race -count=1 -run 'ReloadRace|ReplicaMetrics|ChaosTrace' ./internal/server/
 
 # CI "lint" job: the invariant analyzers (docs/INVARIANTS.md), both
 # standalone and driven by the go command, plus their fixture tests.
@@ -59,14 +61,15 @@ fuzz-smoke:
 	$(GO) test ./internal/window/ -run FuzzGenerateLinear -fuzz FuzzGenerateLinear -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/index/ -run FuzzManifestParse -fuzz FuzzManifestParse -fuzztime $(FUZZTIME)
 
-# CI "bench-smoke" job: the full figure/table suite into BENCH.json,
-# then the schema check.
+# CI "bench-smoke" job: the full figure/table suite into BENCH.json at
+# the repo root (a stable path wherever make is invoked from), then the
+# schema check.
 bench:
-	$(GO) run ./cmd/ndss-bench -json BENCH.json
-	$(GO) run ./cmd/ndss-bench -check BENCH.json
+	$(GO) run ./cmd/ndss-bench -json $(CURDIR)/BENCH.json
+	$(GO) run ./cmd/ndss-bench -check $(CURDIR)/BENCH.json
 
 bench-check:
-	$(GO) run ./cmd/ndss-bench -check BENCH.json
+	$(GO) run ./cmd/ndss-bench -check $(CURDIR)/BENCH.json
 
 # Everything a merge gate runs.
 ci: race lint shard-suite chaos-suite test

@@ -14,6 +14,12 @@
 //	                   Accept: application/json
 //	GET  /debug/slowlog the slow-query flight recorder: stage-annotated
 //	                   traces of the slowest and most recent queries
+//	GET  /debug/trace/{request_id} the assembled cross-process trace
+//	                   tree of a retained query (tail-based: slow,
+//	                   errored, partial, retried, and hedged queries
+//	                   are always kept; -trace-sample adds head
+//	                   sampling). Bare /debug/trace/ lists what is
+//	                   retained.
 //	POST /admin/reload reopen the index directory and hot-swap to it
 //	POST /ingest       {"texts":[[...],...]} append texts as a new index
 //	                   segment and hot-swap; searchable on return
@@ -30,11 +36,18 @@
 //
 // Observability: every request gets an X-Request-ID (client-supplied
 // ones are honored) echoed on the response and stamped on the
-// structured access log (-log text|json). Queries slower than
+// structured access log (-log text|json). The id and a W3C
+// traceparent-style trace context are forwarded on every shard and
+// replica call, so a sharded deployment's logs and traces join across
+// processes; -trace-sample controls head-sampling of full span
+// shipping, and -wide-events logs one INFO "query" line per executed
+// query with the complete cross-process breakdown. Queries slower than
 // -slow-query additionally log their per-stage breakdown. Profiling
 // endpoints (net/http/pprof) are off by default; -debug-addr serves
 // them on a separate listener so they are never exposed on the query
-// port.
+// port — query handlers label their goroutines with request_id,
+// endpoint, and shard via runtime/pprof, so CPU profiles join back to
+// specific requests.
 //
 // After rebuilding the index in place (ndss-index commits atomically,
 // so the running server never sees a partial build), POST /admin/reload
@@ -81,10 +94,13 @@ type serveConfig struct {
 	cache       int
 	drain       time.Duration
 
-	slowQuery time.Duration
-	slowlog   int
-	debugAddr string
-	logFormat string
+	slowQuery   time.Duration
+	slowlog     int
+	traceSample float64
+	traceStore  int
+	wideEvents  bool
+	debugAddr   string
+	logFormat   string
 
 	ingest       bool
 	compactAfter int
@@ -113,6 +129,9 @@ func main() {
 	flag.DurationVar(&c.drain, "drain", 30*time.Second, "shutdown drain allowance for in-flight requests")
 	flag.DurationVar(&c.slowQuery, "slow-query", 500*time.Millisecond, "log queries at least this slow with their stage breakdown (0 disables)")
 	flag.IntVar(&c.slowlog, "slowlog", 32, "flight recorder entries per view at /debug/slowlog (0 disables)")
+	flag.Float64Var(&c.traceSample, "trace-sample", 0, "fraction of queries head-sampled into full distributed tracing (0 never samples; slow/errored/partial/retried/hedged queries are tail-retained regardless)")
+	flag.IntVar(&c.traceStore, "trace-store", 128, "trace store entries per ring at /debug/trace/{request_id} (0 disables)")
+	flag.BoolVar(&c.wideEvents, "wide-events", false, "log one INFO \"query\" line per executed query with the full cross-process breakdown")
 	flag.StringVar(&c.debugAddr, "debug-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	flag.StringVar(&c.logFormat, "log", "text", "log format: text or json")
 	flag.BoolVar(&c.ingest, "ingest", false, "enable POST /ingest and /admin/compact (live segment appends)")
@@ -351,6 +370,10 @@ func run(c serveConfig) error {
 	if slowlog == 0 {
 		slowlog = -1
 	}
+	traceStore := c.traceStore
+	if traceStore == 0 {
+		traceStore = -1
+	}
 	scfg := server.Config{
 		MaxInFlight:        c.maxInFlight,
 		DefaultTimeout:     c.timeout,
@@ -359,6 +382,9 @@ func run(c serveConfig) error {
 		Logger:             logger,
 		SlowQueryThreshold: c.slowQuery,
 		SlowlogEntries:     slowlog,
+		TraceSampleRate:    c.traceSample,
+		TraceStoreEntries:  traceStore,
+		WideEvents:         c.wideEvents,
 		Reloader: func() (server.Backend, error) {
 			if c.shards != "" {
 				// Rebuild the whole topology: local shards reopen their

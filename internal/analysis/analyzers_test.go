@@ -23,12 +23,20 @@ func TestCtxFlowShard(t *testing.T) {
 	atest.Run(t, analysis.CtxFlow, "testdata/ctxflow_shard", "ndss/internal/shard")
 }
 
+func TestCtxFlowTrace(t *testing.T) {
+	atest.Run(t, analysis.CtxFlow, "testdata/ctxflow_trace", "ndss/internal/shard")
+}
+
 func TestPoolPair(t *testing.T) {
 	atest.Run(t, analysis.PoolPair, "testdata/poolpair", "ndss/internal/search")
 }
 
 func TestMetricHygiene(t *testing.T) {
 	atest.Run(t, analysis.MetricHygiene, "testdata/metrichygiene", "ndss/internal/server")
+}
+
+func TestMetricHygieneHeaders(t *testing.T) {
+	atest.Run(t, analysis.MetricHygiene, "testdata/metrichygiene_headers", "ndss/internal/shard")
 }
 
 func TestMonoTimeHotPath(t *testing.T) {

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -19,6 +20,15 @@ var ctxScope = []string{"ndss/internal/search", "ndss/internal/server", "ndss/in
 // code through and through — every ShardClient entry point fans out
 // network or index I/O — so it carries the full obligation.
 var ctxExportScope = []string{"ndss/internal/search", "ndss/internal/server", "ndss/internal/shard"}
+
+// traceRootScope is where minting a fresh trace root is always a bug.
+// The scatter–gather layer runs mid-request: every span it starts must
+// be a child of the caller's trace (obs.TraceFromContext + Child), or
+// the coordinator's tree and the shard's remote spans land in separate
+// traces and /debug/trace can never assemble one connected flight.
+// Only the serving edge (internal/server) may mint roots, and only
+// when the inbound request carried no traceparent.
+var traceRootScope = []string{"ndss/internal/shard"}
 
 // ioFuncPackages are packages whose package-level functions count as
 // performing I/O.
@@ -59,6 +69,7 @@ func runCtxFlow(pass *Pass) error {
 	}
 	doesIO := ioClosure(pass)
 	for _, f := range pass.Files {
+		checkTraceGlobals(pass, f)
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
@@ -68,6 +79,34 @@ func runCtxFlow(pass *Pass) error {
 		}
 	}
 	return nil
+}
+
+// checkTraceGlobals rejects package-level trace-context state: a trace
+// context names one request's position in one trace, so parking it in
+// a global either leaks one request's identity into every later
+// request or forces all requests into a single shared trace. The only
+// sanctioned carrier is the request context.
+func checkTraceGlobals(pass *Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+				if ok && isNamedIn(obj.Type(), "ndss/internal/obs", "TraceContext") {
+					pass.Reportf(name.Pos(),
+						"package-level obs.TraceContext %s; trace context is per-request state and must flow through the request context",
+						name.Name)
+				}
+			}
+		}
+	}
 }
 
 func checkCtxFlowFunc(pass *Pass, fd *ast.FuncDecl, doesIO map[*types.Func]bool) {
@@ -107,6 +146,14 @@ func checkCtxFlowFunc(pass *Pass, fd *ast.FuncDecl, doesIO map[*types.Func]bool)
 			pass.Reportf(call.Pos(),
 				"context.%s in library code severs cancellation; accept and forward a caller context",
 				staticCallee(pass.TypesInfo, call).Name())
+		}
+		// The trace analogue of context.Background: minting a root
+		// trace context mid-request detaches every downstream span
+		// from the caller's trace.
+		if isPkgCall(pass.TypesInfo, call, "ndss/internal/obs", "NewTraceContext") &&
+			underAny(pass.PkgPath(), traceRootScope...) {
+			pass.Reportf(call.Pos(),
+				"obs.NewTraceContext mints a new trace root mid-request; derive a child from the caller's trace context (obs.TraceFromContext + Child)")
 		}
 		// Inside a function that holds a context, calling the
 		// context-less wrapper of a method that has a Context variant

@@ -3,12 +3,30 @@ package analysis
 import (
 	"go/ast"
 	"go/constant"
+	"go/token"
 	"go/types"
 	"regexp"
+	"strconv"
+	"strings"
 )
 
 // metricScope is where the Prometheus exposition lives.
 var metricScope = []string{"ndss/internal/server"}
+
+// headerScope is where the cross-process propagation headers are read
+// and written: the serving edge (which echoes X-Request-ID and joins
+// an inbound traceparent) and the scatter–gather layer (which forwards
+// both on every shard leg). A literal spelling in either place can
+// drift from the obs package constants — a one-character typo silently
+// breaks propagation with no compile error — so the names must come
+// from the constants.
+var headerScope = []string{"ndss/internal/server", "ndss/internal/shard"}
+
+// headerMethods are the net/http.Header methods whose first argument
+// is a header name.
+var headerMethods = map[string]bool{
+	"Set": true, "Get": true, "Add": true, "Del": true, "Values": true,
+}
 
 // metricNameRe is the documented catalog shape: ndss_* for service
 // metrics, go_* for runtime gauges, snake_case throughout.
@@ -40,7 +58,9 @@ var MetricHygiene = &Analyzer{
 }
 
 func runMetricHygiene(pass *Pass) error {
-	if !underAny(pass.PkgPath(), metricScope...) {
+	inMetric := underAny(pass.PkgPath(), metricScope...)
+	inHeader := underAny(pass.PkgPath(), headerScope...)
+	if !inMetric && !inHeader {
 		return nil
 	}
 	for _, f := range pass.Files {
@@ -49,11 +69,49 @@ func runMetricHygiene(pass *Pass) error {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			checkEmissions(pass, fd)
-			checkObserveDiscipline(pass, fd)
+			if inMetric {
+				checkEmissions(pass, fd)
+				checkObserveDiscipline(pass, fd)
+			}
+			if inHeader {
+				checkHeaderLiterals(pass, fd)
+			}
 		}
 	}
 	return nil
+}
+
+// checkHeaderLiterals rejects the propagation header names spelled as
+// string literals in calls on net/http.Header. References to the obs
+// constants (or a local constant) are fine — the point is that there
+// is exactly one definition each of X-Request-ID and Traceparent, so
+// the coordinator's Set and the shard's Get can never disagree.
+func checkHeaderLiterals(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		fn := staticCallee(pass.TypesInfo, call)
+		if fn == nil || !headerMethods[fn.Name()] || !methodOnNamed(fn, "net/http", "Header") {
+			return true
+		}
+		lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		name, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		switch strings.ToLower(name) {
+		case "x-request-id", "traceparent":
+			pass.Reportf(lit.Pos(),
+				"propagation header %q spelled as a string literal; use the obs package constant so sender and receiver cannot drift",
+				name)
+		}
+		return true
+	})
 }
 
 func checkEmissions(pass *Pass, fd *ast.FuncDecl) {

@@ -1,0 +1,24 @@
+// Fixture for the trace-propagation contract at the scatter–gather
+// layer (ndss/internal/shard): each outbound attempt derives a child
+// span from the caller's trace context, so every remote span stays
+// attached to the request's one trace. A request that arrived without
+// a traceparent simply propagates nothing.
+package shard
+
+import (
+	"context"
+
+	"ndss/internal/obs"
+)
+
+// childLeg is the sanctioned shape: read the trace from the request
+// context, derive a child for this attempt, and put the child back in
+// the leg's context. No trace in, no trace out.
+func childLeg(ctx context.Context) (context.Context, string) {
+	tc, ok := obs.TraceFromContext(ctx)
+	if !ok {
+		return ctx, ""
+	}
+	child := tc.Child()
+	return obs.ContextWithTrace(ctx, child), child.SpanIDString()
+}

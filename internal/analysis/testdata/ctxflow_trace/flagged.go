@@ -1,0 +1,24 @@
+// Violations of the trace-propagation contract at the scatter–gather
+// layer: trace context parked in globals or minted fresh mid-request,
+// both of which detach downstream spans from the caller's trace and
+// leave /debug/trace with a forest instead of one connected flight.
+package shard
+
+import (
+	"context"
+
+	"ndss/internal/obs"
+)
+
+// bootTrace pins one process-wide trace context: every request's spans
+// would graft onto the same tree, and the sampling bit frozen at boot
+// overrides the caller's decision.
+var bootTrace = obs.NewTraceContext(false) // want `package-level obs\.TraceContext bootTrace; trace context is per-request state`
+
+// detachedLeg mints a new root for the outbound leg instead of
+// deriving a child, so the shard's remote spans land in a different
+// trace than the coordinator's.
+func detachedLeg(ctx context.Context) context.Context {
+	tc := obs.NewTraceContext(true) // want `obs\.NewTraceContext mints a new trace root mid-request; derive a child`
+	return obs.ContextWithTrace(ctx, tc)
+}

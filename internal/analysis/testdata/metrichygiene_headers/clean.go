@@ -1,0 +1,26 @@
+// Fixture for the sanctioned propagation-header shape: the names come
+// from constants (in the real module, obs.HeaderRequestID and
+// obs.HeaderTraceparent), and unrelated header literals stay legal.
+package shard
+
+import "net/http"
+
+// Mirrors the obs package constants; the analyzer accepts any constant
+// reference, it only rejects inline string literals.
+const (
+	headerRequestID   = "X-Request-ID"
+	headerTraceparent = "Traceparent"
+)
+
+func forwardConst(hdr http.Header, id, tp string) {
+	hdr.Set(headerRequestID, id)
+	hdr.Set(headerTraceparent, tp)
+	_ = hdr.Get(headerRequestID)
+}
+
+// Non-propagation headers may stay literal: the rule protects the two
+// names that must match across processes, not all header usage.
+func contentType(hdr http.Header) {
+	hdr.Set("Content-Type", "application/json")
+	hdr.Del("Accept-Encoding")
+}

@@ -1,0 +1,16 @@
+// Violations of the propagation-header rule: the header names spelled
+// as string literals at net/http.Header call sites. A typo here —
+// "X-Request-Id", "trace-parent" — compiles fine and silently breaks
+// propagation, so the names must come from the obs package constants.
+package shard
+
+import "net/http"
+
+func forwardLiteral(hdr http.Header, id string) {
+	hdr.Set("X-Request-ID", id)                    // want `propagation header "X-Request-ID" spelled as a string literal`
+	hdr.Set("Traceparent", "00-0123-4567-01")      // want `propagation header "Traceparent" spelled as a string literal`
+	if got := hdr.Get("x-request-id"); got == "" { // want `propagation header "x-request-id" spelled as a string literal`
+		hdr.Add("traceparent", "00-0123-4567-01") // want `propagation header "traceparent" spelled as a string literal`
+	}
+	hdr.Del("TRACEPARENT") // want `propagation header "TRACEPARENT" spelled as a string literal`
+}

@@ -243,6 +243,19 @@ type ShardStats struct {
 	Total time.Duration `json:"total_ns"`
 	// StageTimes is the shard's own pipeline decomposition.
 	StageTimes StageTimes `json:"stages"`
+	// SpanID is the leg's span id in the query's distributed trace,
+	// assigned by the coordinator when the request context carries a
+	// trace context. "" otherwise.
+	SpanID string `json:"span_id,omitempty"`
+	// Start is the leg's launch offset from the fan-out start, so
+	// attempt and remote-span timings can be placed on the query's
+	// time axis.
+	Start time.Duration `json:"start_ns,omitempty"`
+	// Spans is the shard's own span list (remote: shipped back over
+	// the wire; local: copied in process), present only when the
+	// query's trace is sampled. The coordinator grafts these under the
+	// winning attempt during flight assembly.
+	Spans []obs.Span `json:"spans,omitempty"`
 	// Attempts lists every replica attempt behind this shard's answer
 	// when it is served by a replica set: the primary, plus any retries
 	// and hedges. Nil for single-replica shards.
@@ -267,6 +280,11 @@ type ShardAttempt struct {
 	// Err is why the attempt failed ("" for the winning attempt;
 	// "canceled" for a hedge loser whose request was abandoned).
 	Err string `json:"err,omitempty"`
+	// SpanID is the attempt's span id in the query's distributed
+	// trace. The attempt's trace context crossed the wire with the
+	// request, so the remote side's spans are children of exactly this
+	// id. "" when the request context carried no trace.
+	SpanID string `json:"span_id,omitempty"`
 	// Start is the attempt's start offset from the leg start.
 	Start time.Duration `json:"start_ns"`
 	// Dur is the attempt's wall time.

@@ -128,6 +128,13 @@ type metrics struct {
 	ingests     atomic.Int64 // successful ingest mutations (segment appends)
 	compactions atomic.Int64 // successful compactions (manual or automatic)
 
+	// Distributed-tracing accounting: head-sampled queries, traces
+	// retained in the trace store per retention reason, and entries a
+	// full ring pushed out.
+	traceSampled  atomic.Int64
+	traceRetained [numTraceReasons]atomic.Int64
+	traceEvicted  atomic.Int64
+
 	// Aggregated per-query Stats/IOStats of executed (non-cached)
 	// searches. Exact because every query reports from its private sink.
 	matches   atomic.Int64
@@ -148,6 +155,31 @@ type metrics struct {
 // observe records the single per-request latency observation.
 func (m *metrics) observe(ep endpoint, out outcome, d time.Duration) {
 	m.latency[ep][out].observe(d)
+}
+
+// traceReasons enumerates the trace-store retention reasons; the
+// Prometheus exposition emits one ndss_trace_retained_total sample per
+// reason so dashboards see every label value from the first scrape.
+var traceReasons = [...]string{"sampled", "slow", "error", "partial", "retried", "hedged"}
+
+const numTraceReasons = len(traceReasons)
+
+// retainTrace bumps the retention counter for one reason.
+func (m *metrics) retainTrace(reason string) {
+	for i, r := range traceReasons {
+		if r == reason {
+			m.traceRetained[i].Add(1)
+			return
+		}
+	}
+}
+
+func traceRetainedMap(m *metrics) map[string]int64 {
+	out := make(map[string]int64, numTraceReasons)
+	for i, r := range traceReasons {
+		out[r] = m.traceRetained[i].Load()
+	}
+	return out
 }
 
 func (m *metrics) recordStats(st *search.Stats) {
@@ -284,6 +316,11 @@ func (m *metrics) snapshot(cacheLen, cacheCap int, ix indexSnapshot, sm *shard.M
 			"io_bytes":    m.ioBytes.Load(),
 			"io_time_ns":  m.ioTimeNS.Load(),
 			"cpu_time_ns": m.cpuTimeNS.Load(),
+		},
+		"trace": map[string]any{
+			"sampled":  m.traceSampled.Load(),
+			"retained": traceRetainedMap(m),
+			"evicted":  m.traceEvicted.Load(),
 		},
 		"index":   ix,
 		"runtime": sampleRuntime(),

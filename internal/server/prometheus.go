@@ -80,7 +80,7 @@ func escapeLabelValue(s string) string {
 
 // writePrometheus renders the full metric catalog (see README's
 // observability section) in exposition format.
-func (m *metrics) writePrometheus(w io.Writer, cacheLen, cacheCap int, ix indexSnapshot, slowlogLen int, sm *shard.Metrics) error {
+func (m *metrics) writePrometheus(w io.Writer, cacheLen, cacheCap int, ix indexSnapshot, slowlogLen, traceLen int, sm *shard.Metrics) error {
 	p := &promWriter{w: w}
 
 	p.header("ndss_uptime_seconds", "Seconds since the server started.", "gauge")
@@ -162,6 +162,21 @@ func (m *metrics) writePrometheus(w io.Writer, cacheLen, cacheCap int, ix indexS
 
 	p.header("ndss_slowlog_entries", "Traces held by the slow-query flight recorder.", "gauge")
 	p.sample("ndss_slowlog_entries", "", float64(slowlogLen))
+
+	// Distributed-tracing families. Always present (zero-valued when
+	// tracing never fired) so dashboards and the exposition checker see
+	// every family in every scrape.
+	p.header("ndss_trace_sampled_requests_total", "Executed queries whose trace was head-sampled.", "counter")
+	p.sample("ndss_trace_sampled_requests_total", "", float64(m.traceSampled.Load()))
+	p.header("ndss_trace_retained_total", "Traces retained in the trace store by retention reason (tail-based: decided at completion).", "counter")
+	for i, reason := range traceReasons {
+		p.sample("ndss_trace_retained_total",
+			fmt.Sprintf(`reason=%q`, reason), float64(m.traceRetained[i].Load()))
+	}
+	p.header("ndss_trace_store_entries", "Traces currently held by the trace store.", "gauge")
+	p.sample("ndss_trace_store_entries", "", float64(traceLen))
+	p.header("ndss_trace_evictions_total", "Retained traces evicted by ring capacity.", "counter")
+	p.sample("ndss_trace_evictions_total", "", float64(m.traceEvicted.Load()))
 
 	if sm != nil {
 		// Scatter–gather fan-out accounting (sharded backends only).

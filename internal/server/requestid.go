@@ -15,9 +15,9 @@ import (
 	"fmt"
 	"net/http"
 	"sync/atomic"
-)
 
-type ridKey struct{}
+	"ndss/internal/obs"
+)
 
 // ridPrefix distinguishes server processes; ridSeq orders requests
 // within one.
@@ -40,9 +40,10 @@ func newRequestID() string {
 const maxRequestIDLen = 64
 
 // requestIDFor returns the request's id: a sane client-supplied
-// X-Request-ID, or a fresh one.
+// X-Request-ID (which is how a coordinator's id reaches a shard's
+// access log), or a fresh one.
 func requestIDFor(r *http.Request) string {
-	if id := r.Header.Get("X-Request-ID"); id != "" && len(id) <= maxRequestIDLen && printableASCII(id) {
+	if id := r.Header.Get(obs.HeaderRequestID); id != "" && len(id) <= maxRequestIDLen && printableASCII(id) {
 		return id
 	}
 	return newRequestID()
@@ -58,14 +59,11 @@ func printableASCII(s string) bool {
 }
 
 // RequestIDFromContext returns the request id the server middleware
-// stored, or "" outside a request.
+// stored, or "" outside a request. The id lives in the obs package's
+// context slot so the shard layer can forward it on outbound calls
+// without importing the server.
 func RequestIDFromContext(ctx context.Context) string {
-	id, _ := ctx.Value(ridKey{}).(string)
-	return id
-}
-
-func contextWithRequestID(ctx context.Context, id string) context.Context {
-	return context.WithValue(ctx, ridKey{}, id)
+	return obs.RequestIDFromContext(ctx)
 }
 
 // statusWriter captures the response status for the access log.

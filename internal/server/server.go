@@ -52,6 +52,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -59,6 +60,7 @@ import (
 
 	"ndss/internal/hash"
 	"ndss/internal/index"
+	"ndss/internal/obs"
 	"ndss/internal/search"
 	"ndss/internal/shard"
 )
@@ -119,6 +121,25 @@ type Config struct {
 	// slow-query flight recorder at /debug/slowlog. Default 32;
 	// negative disables the recorder.
 	SlowlogEntries int
+	// TraceSampleRate head-samples queries into full distributed
+	// tracing: a sampled query's traceparent carries the sampling bit,
+	// so every shard leg ships its complete span list back for flight
+	// assembly. 0 (the default) never head-samples; tail-based
+	// retention below still keeps the traces that matter. Values are
+	// clamped to [0, 1].
+	TraceSampleRate float64
+	// TraceStoreEntries sizes each ring (tail-retained, head-sampled)
+	// of the bounded trace store behind /debug/trace/{request_id}.
+	// Retention is decided at completion, not admission: slow,
+	// errored, partial-result, retried, or hedged queries are always
+	// kept. Default 128; negative disables the store (501).
+	TraceStoreEntries int
+	// WideEvents emits one INFO "query" log line per executed query
+	// carrying the full cross-process breakdown (ids, stage split,
+	// I/O, per-shard legs and attempts) — the one-line-per-request
+	// "wide event" that makes log-based debugging possible without
+	// sampling. Off by default.
+	WideEvents bool
 }
 
 func (c *Config) setDefaults() {
@@ -136,6 +157,12 @@ func (c *Config) setDefaults() {
 	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.TraceSampleRate < 0 {
+		c.TraceSampleRate = 0
+	}
+	if c.TraceSampleRate > 1 {
+		c.TraceSampleRate = 1
 	}
 }
 
@@ -157,7 +184,8 @@ type Server struct {
 	sem     chan struct{}
 	cache   *resultCache // nil when disabled
 	met     metrics
-	slow    *slowlog // nil when disabled
+	slow    *slowlog    // nil when disabled
+	trace   *traceStore // nil when disabled
 	log     *slog.Logger
 	mux     *http.ServeMux
 	closing atomic.Bool
@@ -181,6 +209,7 @@ func New(b Backend, cfg Config) *Server {
 		cache:  newResultCache(cfg.CacheEntries),
 		met:    metrics{start: time.Now()},
 		slow:   newSlowlog(cfg.SlowlogEntries),
+		trace:  newTraceStore(cfg.TraceStoreEntries),
 		log:    cfg.Logger,
 	}
 	s.mux = http.NewServeMux()
@@ -190,6 +219,7 @@ func New(b Backend, cfg Config) *Server {
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/slowlog", s.handleSlowlog)
+	s.mux.HandleFunc("/debug/trace/", s.handleTrace)
 	s.mux.HandleFunc("/admin/reload", s.handleReload)
 	s.mux.HandleFunc("/ingest", s.handleIngest)
 	s.mux.HandleFunc("/admin/compact", s.handleCompact)
@@ -509,13 +539,26 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 }
 
 // ServeHTTP implements http.Handler: it assigns the request its ID,
-// echoes it as X-Request-ID, and emits one structured access-log line
-// per request once the handler returns.
+// echoes it as X-Request-ID, joins or mints the request's trace
+// context, and emits one structured access-log line per request once
+// the handler returns. A coordinator-forwarded request id lands in
+// this access log, so coordinator and shard logs join on it even for
+// queries whose trace was never sampled.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	id := requestIDFor(r)
-	w.Header().Set("X-Request-ID", id)
-	r = r.WithContext(contextWithRequestID(r.Context(), id))
+	w.Header().Set(obs.HeaderRequestID, id)
+	ctx := obs.ContextWithRequestID(r.Context(), id)
+	// Join the caller's trace when a valid traceparent came in (the
+	// coordinator → shard hop); otherwise this process is the serving
+	// edge and mints the root, deciding head-sampling here. Tail-based
+	// retention is decided at completion, in recordQuery, regardless.
+	tc, joined := obs.ParseTraceparent(r.Header.Get(obs.HeaderTraceparent))
+	if !joined {
+		tc = obs.NewTraceContext(s.sampleTrace())
+	}
+	ctx = obs.ContextWithTrace(ctx, tc)
+	r = r.WithContext(ctx)
 	sw := &statusWriter{ResponseWriter: w}
 	s.mux.ServeHTTP(sw, r)
 	status := sw.status
@@ -607,6 +650,12 @@ type statsJSON struct {
 	ShardsTotal    int                 `json:"shards_total,omitempty"`
 	ShardsAnswered int                 `json:"shards_answered,omitempty"`
 	PerShard       []search.ShardStats `json:"per_shard,omitempty"`
+
+	// Spans is this process's own span list, present only when the
+	// request's trace context carried the sampling bit — it is how a
+	// shard ships its stage spans (io_bytes attrs included) back to
+	// the coordinator for flight assembly.
+	Spans []obs.Span `json:"spans,omitempty"`
 }
 
 type searchResponse struct {
@@ -892,13 +941,18 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, req searchRe
 		matches []search.Match
 		st      *search.Stats
 	)
-	if topk {
-		matches, st, err = backend.SearchTopKContext(ctx, req.Tokens, search.TopKOptions{
-			N: req.N, FloorTheta: req.FloorTheta, Search: opts,
-		})
-	} else {
-		matches, st, err = backend.SearchContext(ctx, req.Tokens, opts)
-	}
+	// The pprof labels join CPU profiles to the access log and the
+	// trace store: samples taken while this query executes carry its
+	// request id and endpoint.
+	pprof.Do(ctx, pprof.Labels("request_id", RequestIDFromContext(ctx), "endpoint", ep.String()), func(ctx context.Context) {
+		if topk {
+			matches, st, err = backend.SearchTopKContext(ctx, req.Tokens, search.TopKOptions{
+				N: req.N, FloorTheta: req.FloorTheta, Search: opts,
+			})
+		} else {
+			matches, st, err = backend.SearchContext(ctx, req.Tokens, opts)
+		}
+	})
 	if err != nil {
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
@@ -915,6 +969,10 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, req searchRe
 			out = outBadRequest
 			s.writeError(w, r, http.StatusBadRequest, err.Error())
 		}
+		// Errored executions are always trace-retained (tail-based):
+		// there are no spans to graft, but the root records what
+		// failed, when, and under which trace id.
+		s.recordErrorTrace(r, ep, start, err)
 		return
 	}
 	out = outOK
@@ -923,14 +981,83 @@ func (s *Server) serveQuery(w http.ResponseWriter, r *http.Request, req searchRe
 	if s.cache != nil {
 		s.cache.put(&cacheEntry{key: key, matches: matches, stats: *st})
 	}
-	writeJSON(w, http.StatusOK, searchResponse{Matches: toMatchJSON(matches), Stats: toStatsJSON(*st)})
+	resp := searchResponse{Matches: toMatchJSON(matches), Stats: toStatsJSON(*st)}
+	// Span shipping is gated on the sampling bit: a sampled query's
+	// response carries this process's full span list so the caller (a
+	// coordinator, or a person with curl) can assemble the flight.
+	if tc, ok := obs.TraceFromContext(r.Context()); ok && tc.Sampled {
+		resp.Stats.Spans = st.Spans
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
-// recordQuery feeds one executed query into the flight recorder and,
-// past the slow threshold, the structured log.
+// countExtraAttempts tallies the retries and hedges behind a sharded
+// query's answer.
+func countExtraAttempts(st *search.Stats) (retries, hedges int) {
+	for i := range st.PerShard {
+		for _, a := range st.PerShard[i].Attempts {
+			if a.Attempt == 0 {
+				continue
+			}
+			if a.Hedge {
+				hedges++
+			} else {
+				retries++
+			}
+		}
+	}
+	return retries, hedges
+}
+
+// recordQuery feeds one executed query into the flight recorder, the
+// trace store (tail-based: retention decided here, at completion), the
+// wide-event log when enabled, and, past the slow threshold, the
+// structured log.
 func (s *Server) recordQuery(r *http.Request, ep endpoint, req searchRequest, start time.Time, st *search.Stats) {
 	dur := time.Since(start)
 	id := RequestIDFromContext(r.Context())
+	retries, hedges := countExtraAttempts(st)
+	tc, _ := obs.TraceFromContext(r.Context())
+	if tc.Sampled {
+		s.met.traceSampled.Add(1)
+	}
+	if s.trace != nil {
+		// Tail-based retention: the interesting queries are always
+		// kept, whatever the head-sampling rate said at admission.
+		var reasons []string
+		if tc.Sampled {
+			reasons = append(reasons, "sampled")
+		}
+		if t := s.cfg.SlowQueryThreshold; t > 0 && dur >= t {
+			reasons = append(reasons, "slow")
+		}
+		if st.Partial() {
+			reasons = append(reasons, "partial")
+		}
+		if retries > 0 {
+			reasons = append(reasons, "retried")
+		}
+		if hedges > 0 {
+			reasons = append(reasons, "hedged")
+		}
+		if len(reasons) > 0 {
+			stats := toStatsJSON(*st)
+			s.storeTrace(traceEntry{
+				RequestID:  id,
+				TraceID:    tc.TraceIDString(),
+				Endpoint:   ep.String(),
+				Start:      start,
+				DurationNS: int64(dur),
+				Sampled:    tc.Sampled,
+				Reasons:    reasons,
+				Spans:      assembleFlight(tc, ep.String(), dur, st),
+				Stats:      &stats,
+			})
+		}
+	}
+	if s.cfg.WideEvents {
+		s.wideEvent(r, ep, req, id, tc, dur, st, retries, hedges)
+	}
 	if s.slow != nil {
 		stats := toStatsJSON(*st)
 		s.slow.record(slowlogEntry{
@@ -967,19 +1094,6 @@ func (s *Server) recordQuery(r *http.Request, ep endpoint, req searchRequest, st
 				slog.Int("shards_total", st.ShardsTotal),
 				slog.Int("shards_answered", st.ShardsAnswered),
 			)
-			retries, hedges := 0, 0
-			for i := range st.PerShard {
-				for _, a := range st.PerShard[i].Attempts {
-					if a.Attempt == 0 {
-						continue
-					}
-					if a.Hedge {
-						hedges++
-					} else {
-						retries++
-					}
-				}
-			}
 			if retries+hedges > 0 {
 				attrs = append(attrs,
 					slog.Int("shard_retries", retries),
@@ -1093,7 +1207,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", promContentType)
-	s.met.writePrometheus(w, cacheLen, cacheCap, ix, s.slow.len(), sm)
+	s.met.writePrometheus(w, cacheLen, cacheCap, ix, s.slow.len(), s.trace.len(), sm)
 }
 
 // handleSlowlog serves the flight recorder: the slowest and the most

@@ -494,6 +494,17 @@ func TestShardedReplicaMetricsExposition(t *testing.T) {
 		`ndss_shard_replica_quarantined{shard="rset",replica="rep0"} 0`,
 		`ndss_shard_hedge_wins_total{shard="rset"} 0`,
 		`ndss_shard_retry_budget_denied_total{shard="rset"} 0`,
+		// The trace families ride in the same scrape: with a 1ns slow
+		// threshold and one masked retry, the single query is retained
+		// for both reasons, head sampling stays off, and nothing has
+		// been evicted from the bounded store.
+		"ndss_trace_sampled_requests_total 0",
+		`ndss_trace_retained_total{reason="slow"} 1`,
+		`ndss_trace_retained_total{reason="retried"} 1`,
+		`ndss_trace_retained_total{reason="sampled"} 0`,
+		`ndss_trace_retained_total{reason="hedged"} 0`,
+		"ndss_trace_store_entries 1",
+		"ndss_trace_evictions_total 0",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("/metrics missing %q", want)

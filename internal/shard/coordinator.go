@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -142,7 +143,8 @@ func (c *Coordinator) CheckHealth(ctx context.Context) error {
 		wg.Add(1)
 		go func(i int, sl *shardSlot) {
 			defer wg.Done()
-			if err := sl.client.CheckHealth(ctx); err != nil {
+			probeCtx := childTraceContext(ctx)
+			if err := sl.client.CheckHealth(probeCtx); err != nil {
 				errs[i] = fmt.Errorf("shard %s: %w", sl.client.Name(), err)
 			}
 		}(i, sl)
@@ -181,6 +183,24 @@ type legResult struct {
 	err     error
 	start   time.Duration // leg start, offset from the fan-out base
 	dur     time.Duration // leg wall time (queueing + execution + network)
+	spanID  string        // the leg's span id when the query is traced
+}
+
+// childTraceContext derives a fresh child span for one unit of
+// downstream work (a leg or a probe) when ctx carries a trace, and
+// returns the context to run it under plus the child's span id.
+func childTraceContextID(ctx context.Context) (context.Context, string) {
+	tc, ok := obs.TraceFromContext(ctx)
+	if !ok {
+		return ctx, ""
+	}
+	child := tc.Child()
+	return obs.ContextWithTrace(ctx, child), child.SpanIDString()
+}
+
+func childTraceContext(ctx context.Context) context.Context {
+	ctx, _ = childTraceContextID(ctx)
+	return ctx
 }
 
 // fanOut runs one query leg per shard concurrently, each under
@@ -196,21 +216,31 @@ func (c *Coordinator) fanOut(ctx context.Context, run func(ctx context.Context, 
 		wg.Add(1)
 		go func(i int, sl *shardSlot) {
 			defer wg.Done()
-			legCtx := ctx
+			legCtx, spanID := childTraceContextID(ctx)
 			if c.budget > 0 {
 				var cancel context.CancelFunc
-				legCtx, cancel = context.WithTimeout(ctx, c.budget)
+				legCtx, cancel = context.WithTimeout(legCtx, c.budget)
 				defer cancel()
 			}
 			t0 := obs.NowMono()
-			m, st, err := run(legCtx, sl.client)
+			var (
+				m   []search.Match
+				st  *search.Stats
+				err error
+			)
+			// The shard label joins CPU profiles to the trace: a profile
+			// taken during the query attributes samples to the leg that
+			// burned them.
+			pprof.Do(legCtx, pprof.Labels("shard", sl.client.Name()), func(legCtx context.Context) {
+				m, st, err = run(legCtx, sl.client)
+			})
 			dur := obs.SinceMono(t0)
 			sl.requests.Add(1)
 			sl.lat.observe(dur)
 			if err != nil {
 				sl.errors.Add(1)
 			}
-			results[i] = legResult{matches: m, stats: st, err: err, start: t0.Sub(base), dur: dur}
+			results[i] = legResult{matches: m, stats: st, err: err, start: t0.Sub(base), dur: dur, spanID: spanID}
 		}(i, sl)
 	}
 	wg.Wait()
@@ -293,17 +323,30 @@ func (c *Coordinator) merge(ctx context.Context, base obs.Mono, results []legRes
 		ShardsAnswered: answered,
 		PerShard:       make([]search.ShardStats, len(results)),
 	}
+	// The full span lists ride along only when the query's trace is
+	// sampled (or the query runs outside any trace, i.e. direct library
+	// use): stage aggregates always flow, span shipping is opt-in.
+	keepSpans := true
+	if tc, ok := obs.TraceFromContext(ctx); ok {
+		keepSpans = tc.Sampled
+	}
 	first := true
 	for i := range results {
 		r := &results[i]
 		sl := c.slots[i]
-		ps := search.ShardStats{Shard: sl.client.Name(), Total: r.dur}
+		ps := search.ShardStats{Shard: sl.client.Name(), Total: r.dur, SpanID: r.spanID, Start: r.start}
 		if r.stats != nil {
 			// Replica-set legs hand their attempt log up through the
 			// stats; it belongs on the leg's PerShard entry (and is
 			// recorded even when every attempt failed).
 			ps.Attempts = r.stats.Attempts
 			r.stats.Attempts = nil
+			// Same hand-off for the leg's own span list: the winning
+			// attempt's spans belong under this leg of the query tree.
+			if keepSpans {
+				ps.Spans = r.stats.Spans
+				r.stats.Spans = nil
+			}
 		}
 		if r.err != nil {
 			ps.Err = shardErrString(r.err)

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"ndss/internal/index"
+	"ndss/internal/obs"
 	"ndss/internal/search"
 )
 
@@ -200,6 +201,7 @@ func (h *HTTPShard) CheckHealth(ctx context.Context) error {
 	if err != nil {
 		return fmt.Errorf("shard %s: %w", h.base, err)
 	}
+	setPropagationHeaders(ctx, req.Header)
 	resp, err := h.hc.Do(req)
 	if err != nil {
 		return fmt.Errorf("shard %s: health: %w", h.base, err)
@@ -270,6 +272,9 @@ type wireStats struct {
 	CPUTimeNS  int64      `json:"cpu_time_ns"`
 	TotalNS    int64      `json:"total_ns"`
 	Stages     wireStages `json:"stages"`
+	// Spans is the remote's own span list, shipped back only when the
+	// request's traceparent had the sampling bit set.
+	Spans []obs.Span `json:"spans,omitempty"`
 }
 
 type wireResponse struct {
@@ -385,9 +390,23 @@ func (h *HTTPShard) query(ctx context.Context, path string, req wireRequest) ([]
 			Merge: time.Duration(ws.Stages.MergeNS), Verify: time.Duration(ws.Stages.VerifyNS),
 		},
 	}
+	st.Spans = ws.Spans
 	h.ioBytes.Add(st.IOBytes)
 	h.ioTimeNS.Add(int64(st.IOTime))
 	return matches, st, nil
+}
+
+// setPropagationHeaders forwards the request id and trace context on
+// an outbound shard call, when the context carries them. The trace
+// context in ctx is the per-attempt child, so everything the remote
+// records hangs off exactly this attempt's span id.
+func setPropagationHeaders(ctx context.Context, hdr http.Header) {
+	if id := obs.RequestIDFromContext(ctx); id != "" {
+		hdr.Set(obs.HeaderRequestID, id)
+	}
+	if tc, ok := obs.TraceFromContext(ctx); ok {
+		hdr.Set(obs.HeaderTraceparent, tc.Traceparent())
+	}
 }
 
 // post issues one JSON POST and decodes the 200 response into out. A
@@ -403,6 +422,7 @@ func (h *HTTPShard) post(ctx context.Context, path string, body any, out any) er
 		return fmt.Errorf("shard %s: %w", h.base, err)
 	}
 	httpReq.Header.Set("Content-Type", "application/json")
+	setPropagationHeaders(ctx, httpReq.Header)
 	resp, err := h.hc.Do(httpReq)
 	if err != nil {
 		// Surface the caller's own cancellation/deadline unwrapped so

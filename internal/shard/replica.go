@@ -392,6 +392,7 @@ type attemptState struct {
 	hedge   bool
 	trial   bool
 	start   time.Duration // offset from leg start
+	spanID  string        // the attempt's span id when the query is traced
 	cancel  context.CancelFunc
 	done    bool
 }
@@ -420,10 +421,14 @@ func (r *ReplicaSet) do(ctx context.Context, run func(ctx context.Context, cl Sh
 
 	launch := func(rep *replica, trial, hedge bool) {
 		pi := len(pendings)
-		actx, cancel := context.WithCancel(ctx)
+		// Every attempt — primary, retry, hedge — runs under its own
+		// child span id, so the remote side's spans (and the wire
+		// headers) identify exactly which attempt carried them.
+		actx, spanID := childTraceContextID(ctx)
+		actx, cancel := context.WithCancel(actx)
 		p := &attemptState{
 			rep: rep, attempt: pi, hedge: hedge, trial: trial,
-			start: obs.SinceMono(legStart), cancel: cancel,
+			start: obs.SinceMono(legStart), spanID: spanID, cancel: cancel,
 		}
 		pendings = append(pendings, p)
 		tried[rep.idx] = true
@@ -469,7 +474,7 @@ func (r *ReplicaSet) do(ctx context.Context, run func(ctx context.Context, cl Sh
 		return append(attempts, search.ShardAttempt{
 			Replica: p.rep.client.Name(), ReplicaIdx: p.rep.idx,
 			Attempt: p.attempt, Hedge: p.hedge, Err: errStr,
-			Start: p.start, Dur: dur,
+			SpanID: p.spanID, Start: p.start, Dur: dur,
 		})
 	}
 	// finish synthesizes entries for attempts still in flight (they are
@@ -624,7 +629,8 @@ func (r *ReplicaSet) CheckHealth(ctx context.Context) error {
 		wg.Add(1)
 		go func(i int, rep *replica) {
 			defer wg.Done()
-			if err := rep.client.CheckHealth(ctx); err != nil {
+			probeCtx := childTraceContext(ctx)
+			if err := rep.client.CheckHealth(probeCtx); err != nil {
 				errs[i] = fmt.Errorf("replica %s: %w", rep.client.Name(), err)
 				return
 			}
