@@ -5,7 +5,14 @@
 GO ?= go
 FUZZTIME ?= 2m
 
-.PHONY: all build test race lint vet fmt fuzz-smoke bench bench-check chaos-suite ci
+# Goroutine-leak verification in the server/shard/index test suites
+# (internal/leakcheck, installed via TestMain). On by default; set
+# NDSS_LEAKCHECK=0 for one-off debugging of a failing test whose
+# deliberately-abandoned goroutines would otherwise add leak noise.
+NDSS_LEAKCHECK ?= 1
+export NDSS_LEAKCHECK
+
+.PHONY: all build test race leakcheck lint vet fmt fuzz-smoke bench bench-check shard-suite chaos-suite ci
 
 all: build
 
@@ -15,12 +22,19 @@ build:
 test:
 	$(GO) test ./...
 
-# CI "test" job: gofmt + vet + build + race suite.
+# CI "test" job: gofmt + vet + build + the consolidated race matrix —
+# full module under -race, then an uncached rerun of the
+# concurrency-heavy serving tier (server, shard, obs, index).
 race:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
-	$(GO) test -race -count=1 ./internal/server/
+	$(GO) test -race -count=1 ./internal/server/ ./internal/shard/ ./internal/obs/ ./internal/index/
+
+# The leak-checked suites alone, with the verifier force-enabled
+# regardless of the environment.
+leakcheck:
+	NDSS_LEAKCHECK=1 $(GO) test -race -count=1 ./internal/server/ ./internal/shard/ ./internal/index/
 
 # CI "shard-suite" job: scatter–gather determinism and fault-injected
 # partial results under the race detector, plus the serving-layer
@@ -47,6 +61,7 @@ lint:
 	$(GO) build -o $(CURDIR)/bin/ndss-lint ./cmd/ndss-lint
 	$(GO) vet -vettool=$(CURDIR)/bin/ndss-lint ./...
 	$(GO) test -count=1 ./internal/analysis/...
+	$(GO) run ./cmd/ndss-lint -suppressions ./...
 
 vet:
 	$(GO) vet ./...

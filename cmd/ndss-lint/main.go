@@ -2,7 +2,9 @@
 // analysis) over Go packages. It is the machine-checked form of
 // docs/INVARIANTS.md: crash-safe filesystem discipline, context
 // cancellation flow, sync.Pool pairing, Prometheus metric hygiene,
-// monotonic timing, and CLI error discipline.
+// monotonic timing, CLI error discipline, and the serving tier's
+// concurrency conventions (guarded-by locking, goroutine termination
+// contracts, atomic hygiene).
 //
 // Standalone:
 //
@@ -51,6 +53,7 @@ func main() {
 	var (
 		sel  = flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
 		list = flag.Bool("list", false, "list analyzers and exit")
+		supp = flag.Bool("suppressions", false, "report every lint:ignore directive (file:line, analyzers, reason) and exit")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: ndss-lint [flags] [packages]\n")
@@ -90,6 +93,10 @@ func main() {
 	if badTypes {
 		os.Exit(2)
 	}
+	if *supp {
+		reportSuppressions(pkgs)
+		return
+	}
 	diags, err := analysis.RunAnalyzers(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ndss-lint: %v\n", err)
@@ -102,6 +109,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ndss-lint: %d violation(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// reportSuppressions prints the suppression-debt report: every
+// lint:ignore directive with its location, analyzers, and reason, so
+// the accumulated exceptions stay reviewable (CI logs the report on
+// every run). Informational: always exits 0, even for an empty tree.
+func reportSuppressions(pkgs []*analysis.Package) {
+	supps := analysis.Suppressions(pkgs)
+	for _, s := range supps {
+		reason := s.Reason
+		if reason == "" {
+			reason = "(MISSING REASON — itself a lint violation)"
+		}
+		fmt.Printf("%s:%d: %s — %s\n", s.File, s.Line, strings.Join(s.Analyzers, ","), reason)
+	}
+	fmt.Fprintf(os.Stderr, "ndss-lint: %d suppression(s)\n", len(supps))
 }
 
 func cfgArg(args []string) string {

@@ -2,9 +2,11 @@
 // that mechanically enforce the codebase's cross-cutting invariants —
 // crash safety (fsiodiscipline), cancellation (ctxflow), object
 // pooling (poolpair), metrics hygiene (metrichygiene), monotonic
-// timing (monotime) and error discipline in the CLIs (errdiscard).
-// Each invariant is documented in docs/INVARIANTS.md; diagnostics link
-// there by anchor.
+// timing (monotime), error discipline in the CLIs (errdiscard), and
+// the concurrency conventions of the serving tier: mutex-guarded
+// fields (guardedby), goroutine termination contracts (gospawn), and
+// single-discipline atomics (atomichygiene). Each invariant is
+// documented in docs/INVARIANTS.md; diagnostics link there by anchor.
 //
 // The framework mirrors the shape of golang.org/x/tools/go/analysis
 // (Analyzer, Pass, Diagnostic) but is built only on the standard
@@ -184,9 +186,47 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 // follows it.
 type directive struct {
 	names    map[string]bool
+	reason   string
 	file     string
 	line     int // the directive's own line
 	from, to int // line range of the covered node (inclusive), 0 if none
+}
+
+// A Suppression is one lint:ignore directive, surfaced for the
+// `ndss-lint -suppressions` debt report.
+type Suppression struct {
+	File      string
+	Line      int
+	Analyzers []string // sorted
+	Reason    string   // empty for a malformed (reason-less) directive
+}
+
+// Suppressions returns every lint:ignore directive in the given
+// packages, sorted by position. Malformed directives (missing reason)
+// are included with an empty Reason so the report shows the full debt.
+func Suppressions(pkgs []*Package) []Suppression {
+	var out []Suppression
+	for _, pkg := range pkgs {
+		dirs, malformed := collectDirectives(pkg)
+		for _, d := range dirs {
+			names := make([]string, 0, len(d.names))
+			for n := range d.names {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			out = append(out, Suppression{File: d.file, Line: d.line, Analyzers: names, Reason: d.reason})
+		}
+		for _, d := range malformed {
+			out = append(out, Suppression{File: d.Pos.Filename, Line: d.Pos.Line, Analyzers: []string{"?"}})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
 }
 
 var directiveRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)\s*(.*)$`)
@@ -212,7 +252,12 @@ func collectDirectives(pkg *Package) ([]directive, []Diagnostic) {
 					})
 					continue
 				}
-				d := directive{names: map[string]bool{}, file: pos.Filename, line: pos.Line}
+				d := directive{
+					names:  map[string]bool{},
+					reason: strings.TrimSpace(m[2]),
+					file:   pos.Filename,
+					line:   pos.Line,
+				}
 				for _, n := range strings.Split(m[1], ",") {
 					d.names[strings.TrimSpace(n)] = true
 				}

@@ -47,6 +47,24 @@ func TestMonoTimeModuleWide(t *testing.T) {
 	atest.Run(t, analysis.MonoTime, "testdata/monotime_index", "ndss/internal/index")
 }
 
+func TestGuardedBy(t *testing.T) {
+	atest.Run(t, analysis.GuardedBy, "testdata/guardedby", "ndss/internal/shard")
+}
+
+func TestGoSpawn(t *testing.T) {
+	atest.Run(t, analysis.GoSpawn, "testdata/gospawn", "ndss/internal/server")
+}
+
+// gospawn is scoped to the serving path: the same bare goroutine in
+// ndss/internal/obs is not flagged.
+func TestGoSpawnScopeGate(t *testing.T) {
+	atest.Run(t, analysis.GoSpawn, "testdata/gospawn_scope", "ndss/internal/obs")
+}
+
+func TestAtomicHygiene(t *testing.T) {
+	atest.Run(t, analysis.AtomicHygiene, "testdata/atomichygiene", "ndss/internal/shard")
+}
+
 func TestErrDiscard(t *testing.T) {
 	atest.Run(t, analysis.ErrDiscard, "testdata/errdiscard", "ndss/cmd/fix")
 }

@@ -57,6 +57,23 @@ var wantArgRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
 
 func checkExpectations(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
 	t.Helper()
+	problems, err := compare(pkg, diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p)
+	}
+}
+
+// compare matches diagnostics against the fixture's want expectations
+// and returns one problem string per mismatch — an unexpected
+// diagnostic, or a want regex no diagnostic matched. Separated from
+// the *testing.T plumbing so the runner's own failure messages are
+// testable: a fixture whose expectation silently never fires must
+// produce a precise "no diagnostic matched want" problem, not a green
+// test.
+func compare(pkg *analysis.Package, diags []analysis.Diagnostic) ([]string, error) {
 	var wants []*expectation
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -72,18 +89,19 @@ func checkExpectations(t *testing.T, pkg *analysis.Package, diags []analysis.Dia
 						pat = arg[1 : len(arg)-1]
 					} else {
 						if err := json.Unmarshal([]byte(arg), &pat); err != nil {
-							t.Fatalf("%s: bad want pattern %s: %v", pos, arg, err)
+							return nil, fmt.Errorf("%s: bad want pattern %s: %v", pos, arg, err)
 						}
 					}
 					re, err := regexp.Compile(pat)
 					if err != nil {
-						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+						return nil, fmt.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
 					}
 					wants = append(wants, &expectation{re: re, file: pos.Filename, line: pos.Line})
 				}
 			}
 		}
 	}
+	var problems []string
 	for _, d := range diags {
 		matched := false
 		for _, w := range wants {
@@ -94,14 +112,15 @@ func checkExpectations(t *testing.T, pkg *analysis.Package, diags []analysis.Dia
 			}
 		}
 		if !matched {
-			t.Errorf("unexpected diagnostic at %s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic at %s: %s (%s)", d.Pos, d.Message, d.Analyzer))
 		}
 	}
 	for _, w := range wants {
 		if !w.hit {
-			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+			problems = append(problems, fmt.Sprintf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re))
 		}
 	}
+	return problems, nil
 }
 
 func loadFixture(dir, importPath string) (*analysis.Package, error) {

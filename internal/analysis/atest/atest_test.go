@@ -1,0 +1,99 @@
+package atest
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ndss/internal/analysis"
+)
+
+// writeFixture materializes a one-file fixture package in a temp dir.
+func writeFixture(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "fixture.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// A want expectation that never matches must fail the runner with a
+// precise unmatched-expectation message naming the file, line, and
+// pattern — otherwise an analyzer regression (it stops firing) turns
+// its fixture silently green.
+func TestUnmatchedWantIsReported(t *testing.T) {
+	dir := writeFixture(t, `package index
+
+import "os"
+
+func touch() {
+	os.Create("x") // want "this pattern never matches anything"
+}
+`)
+	pkg, err := loadFixture(dir, "ndss/internal/index")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture does not type-check: %v", pkg.TypeErrors)
+	}
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{analysis.FSIODiscipline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	problems, err := compare(pkg, diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var unmatched, unexpected int
+	for _, p := range problems {
+		switch {
+		case strings.Contains(p, `no diagnostic matched want "this pattern never matches anything"`):
+			unmatched++
+			if !strings.Contains(p, "fixture.go:6:") {
+				t.Errorf("unmatched-want problem lacks file:line: %q", p)
+			}
+		case strings.HasPrefix(p, "unexpected diagnostic"):
+			// The os.Create diagnostic fired but matched nothing; it must
+			// surface too, not be swallowed.
+			unexpected++
+		default:
+			t.Errorf("unrecognized problem: %q", p)
+		}
+	}
+	if unmatched != 1 {
+		t.Errorf("got %d unmatched-want problems, want exactly 1 (problems: %v)", unmatched, problems)
+	}
+	if unexpected != 1 {
+		t.Errorf("got %d unexpected-diagnostic problems, want exactly 1 (problems: %v)", unexpected, problems)
+	}
+}
+
+// The happy path through compare: matching wants produce no problems.
+func TestMatchedWantIsSilent(t *testing.T) {
+	dir := writeFixture(t, `package index
+
+import "os"
+
+func touch() {
+	os.Create("x") // want `+"`os\\.Create`"+`
+}
+`)
+	pkg, err := loadFixture(dir, "ndss/internal/index")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{analysis.FSIODiscipline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	problems, err := compare(pkg, diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("clean fixture produced problems: %v", problems)
+	}
+}

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoSpawn requires every `go` statement in the serving path to carry a
+// visible termination contract. A goroutine with no contract outlives
+// the request (or reload, or compaction) that spawned it; under
+// sustained traffic that is a slow OOM, and under test it is a leaked
+// prober that poisons the next test's assertions. The contract must be
+// visible at the spawn site:
+//
+//   - the spawned function selects on a ctx.Done()/close-channel (or
+//     otherwise blocks on a channel receive that the owner closes), or
+//   - it is registered with a sync.WaitGroup in scope (a Done() call,
+//     usually deferred, inside the body), or
+//   - it takes a context.Context — cancellation then bounds its life, or
+//   - the spawn carries `//lint:ignore gospawn <reason>` documenting why
+//     it is allowed to be fire-and-forget.
+var GoSpawn = &Analyzer{
+	Name:   "gospawn",
+	Doc:    "every go statement in the serving path has a visible termination contract",
+	Anchor: "gospawn",
+	Run:    runGoSpawn,
+}
+
+func runGoSpawn(pass *Pass) error {
+	if !underAny(pass.PkgPath(), "ndss/internal/server", "ndss/internal/shard", "ndss/internal/index") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !hasTerminationContract(pass.TypesInfo, gs.Call) {
+				pass.Reportf(gs.Pos(),
+					"goroutine has no visible termination contract: select on ctx.Done()/a close channel, register it with a sync.WaitGroup, or pass it a context")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// hasTerminationContract reports whether the spawned call's lifetime is
+// visibly bounded at the spawn site.
+func hasTerminationContract(info *types.Info, call *ast.CallExpr) bool {
+	// A context handed to the goroutine (as an argument to the call, or
+	// for a func literal as a free variable) bounds its life through
+	// cancellation.
+	for _, a := range call.Args {
+		if isContextExpr(info, a) {
+			return true
+		}
+	}
+	lit, ok := call.Fun.(*ast.FuncLit)
+	if !ok {
+		// Named function/method spawn: without a context argument there
+		// is nothing at the spawn site that bounds it.
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// wg.Done() (usually deferred) registers the goroutine with a
+			// WaitGroup the owner waits on.
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && methodOnNamed(fn, "sync", "WaitGroup") {
+					found = true
+					return false
+				}
+			}
+		case *ast.SelectStmt:
+			// A select with a receive case waits on an owner-controlled
+			// channel (ctx.Done(), a close channel, a result channel).
+			for _, cc := range n.Body.List {
+				comm, ok := cc.(*ast.CommClause)
+				if !ok || comm.Comm == nil {
+					continue
+				}
+				if commIsReceive(comm.Comm) {
+					found = true
+					return false
+				}
+			}
+		case *ast.UnaryExpr:
+			// A bare blocking receive (`<-done`) is a termination signal.
+			if n.Op == token.ARROW {
+				found = true
+				return false
+			}
+		case *ast.RangeStmt:
+			// Ranging over a channel terminates when the owner closes it.
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+					return false
+				}
+			}
+		case *ast.Ident:
+			// A context in scope (free variable or parameter) bounds the
+			// body through cancellation checks downstream.
+			if obj, ok := info.Uses[n].(*types.Var); ok && isContextType(obj.Type()) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func commIsReceive(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		u, ok := ast.Unparen(s.X).(*ast.UnaryExpr)
+		return ok && u.Op == token.ARROW
+	case *ast.AssignStmt:
+		if len(s.Rhs) != 1 {
+			return false
+		}
+		u, ok := ast.Unparen(s.Rhs[0]).(*ast.UnaryExpr)
+		return ok && u.Op == token.ARROW
+	}
+	return false
+}
+
+func isContextExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	return t != nil && isContextType(t)
+}

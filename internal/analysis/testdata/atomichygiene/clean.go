@@ -1,0 +1,53 @@
+// Fixture: disciplined atomic usage — raw sync/atomic access is
+// consistent, typed atomics are only touched through their methods
+// (including arrays of them and address-of plumbing), and plain fields
+// stay plain.
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type clean struct {
+	raw    int64 // every access below is via sync/atomic
+	typed  atomic.Int64
+	flag   atomic.Bool
+	counts [4]atomic.Int64
+	mu     sync.Mutex
+	n      int // guarded by mu
+}
+
+func (c *clean) bump() {
+	atomic.AddInt64(&c.raw, 1)
+	c.typed.Add(1)
+	c.flag.Store(true)
+	c.counts[2].Add(1)
+}
+
+func (c *clean) read() (int64, int64, bool) {
+	return atomic.LoadInt64(&c.raw), c.typed.Load(), c.flag.Load()
+}
+
+func (c *clean) swap() int64 {
+	return atomic.SwapInt64(&c.raw, 0)
+}
+
+// Handing the typed atomic along by pointer keeps the discipline: the
+// callee still goes through the methods.
+func (c *clean) share() *atomic.Int64 {
+	return &c.typed
+}
+
+func observe(ctr *atomic.Int64) int64 {
+	return ctr.Load()
+}
+
+// The mutex-guarded plain field is the mutex discipline, not the
+// atomic one; no mixing here.
+func (c *clean) guarded() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n
+}

@@ -1,0 +1,54 @@
+// Fixture: atomic fields accessed plainly, typed atomics copied by
+// value, and fields that mix the mutex and atomic disciplines.
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type stats struct {
+	hits  int64 // accessed via sync/atomic in recordHit
+	typed atomic.Int64
+	plain int64
+}
+
+type mixer struct {
+	mu    sync.Mutex
+	mixed atomic.Bool // guarded by mu // want `mixes disciplines`
+	raw   int64       // guarded by mu // want `mixes disciplines`
+}
+
+func (s *stats) recordHit() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *stats) badPlainRead() int64 {
+	return s.hits // want `accessed with sync/atomic elsewhere`
+}
+
+func (s *stats) badPlainWrite() {
+	s.hits = 0 // want `accessed with sync/atomic elsewhere`
+}
+
+func (s *stats) badCopy() int64 {
+	t := s.typed // want `typed atomic`
+	return t.Load()
+}
+
+func badLocalCopy() int64 {
+	var n atomic.Int64
+	n.Store(1)
+	m := n // want `typed atomic`
+	return m.Load()
+}
+
+func (m *mixer) bumpUnderLock() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.raw++ // want `accessed with sync/atomic elsewhere`
+}
+
+func (m *mixer) sample() int64 {
+	return atomic.LoadInt64(&m.raw)
+}

@@ -1,0 +1,62 @@
+// Fixture: every accepted termination contract — WaitGroup
+// registration, ctx.Done() select, bounded receive, channel range,
+// context argument/free variable, and a justified suppression.
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+func withWaitGroup(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick()
+	}()
+}
+
+func withSelect(ctx context.Context, stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+func withReceive(done chan struct{}) {
+	go func() {
+		tick()
+		<-done
+	}()
+}
+
+func withRange(jobs chan int) {
+	go func() {
+		for range jobs {
+			tick()
+		}
+	}()
+}
+
+func withCtxFreeVar(ctx context.Context) {
+	go func() {
+		run(ctx)
+	}()
+}
+
+func namedWithCtx(ctx context.Context) {
+	go run(ctx)
+}
+
+func justified() {
+	//lint:ignore gospawn one-shot best-effort warmup; exits after a bounded scan
+	go tick()
+}
+
+func run(context.Context) {}

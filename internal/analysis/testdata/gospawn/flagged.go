@@ -1,0 +1,27 @@
+// Fixture: goroutines spawned in the serving path without a visible
+// termination contract.
+package server
+
+import "time"
+
+func fireAndForget() {
+	go func() { // want `no visible termination contract`
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}
+
+func namedNoContract() {
+	go tick() // want `no visible termination contract`
+}
+
+func loopSpawner(n int) {
+	for i := 0; i < n; i++ {
+		go func() { // want `no visible termination contract`
+			tick()
+		}()
+	}
+}
+
+func tick() {}

@@ -1,0 +1,11 @@
+// Fixture: gospawn is scoped to the serving path (server, shard,
+// index); a fire-and-forget goroutine elsewhere is not its business.
+package obs
+
+func backgroundFlush() {
+	go func() {
+		work()
+	}()
+}
+
+func work() {}

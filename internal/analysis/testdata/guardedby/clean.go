@@ -1,0 +1,92 @@
+// Fixture: the locking patterns the serving tier actually uses must
+// all pass — deferred unlock, explicit unlock with local copies,
+// RLock'd reads, early-return unlock branches, switch under lock,
+// address-of under the full lock, and *Locked callee helpers.
+package shard
+
+import "sync"
+
+type cbox struct {
+	mu   sync.Mutex
+	n    int   // guarded by mu
+	ring []int // guarded by mu
+	cap  int   // immutable after construction: deliberately unannotated
+}
+
+type crwbox struct {
+	mu  sync.RWMutex
+	val int // guarded by mu
+}
+
+func newCbox(capacity int) *cbox {
+	return &cbox{cap: capacity} // composite literal keys are not accesses
+}
+
+func (b *cbox) add(delta int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.n += delta
+}
+
+func (b *cbox) snapshot() []int {
+	b.mu.Lock()
+	out := make([]int, len(b.ring))
+	copy(out, b.ring)
+	b.mu.Unlock()
+	return out
+}
+
+func (b *cbox) earlyReturn() int {
+	b.mu.Lock()
+	if b.n == 0 {
+		b.mu.Unlock()
+		return 0
+	}
+	n := b.n
+	b.mu.Unlock()
+	return n
+}
+
+func (b *cbox) classify(v int) string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case v < b.n:
+		return "lt"
+	default:
+		return "ge"
+	}
+}
+
+func (b *cbox) push(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ring := &b.ring
+	*ring = append(*ring, v)
+	b.ring[0] = v
+	for i := range b.ring {
+		b.ring[i]++
+	}
+}
+
+// sumLocked documents (by the Locked suffix) that its caller holds
+// b.mu; the call sites are checked instead.
+func (b *cbox) sumLocked() int { return b.n }
+
+func (b *cbox) total() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sumLocked()
+}
+
+func (r *crwbox) read() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.val
+}
+
+func (r *crwbox) write(v int) {
+	r.mu.Lock()
+	r.val = v
+	r.mu.Unlock()
+}

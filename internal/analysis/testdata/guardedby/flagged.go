@@ -1,0 +1,65 @@
+// Fixture: fields annotated `// guarded by <mu>` accessed without the
+// named mutex held.
+package shard
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int   // guarded by mu
+	s  []int // guarded by mu
+}
+
+type rwbox struct {
+	mu  sync.RWMutex
+	val int // guarded by mu
+}
+
+type badbox struct {
+	mu sync.Mutex
+	x  int // guarded by lock // want `names no sibling sync\.Mutex`
+}
+
+func (b *box) badRead() int {
+	return b.n // want `field n is read without b\.mu held`
+}
+
+func (b *box) badWrite() {
+	b.n = 0 // want `field n is written without b\.mu held`
+}
+
+func (b *box) badAfterUnlock() int {
+	b.mu.Lock()
+	n := b.n
+	b.mu.Unlock()
+	return n + b.n // want `field n is read without b\.mu held`
+}
+
+func (r *rwbox) badWriteUnderRLock() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.val = 1 // want `RLock is not enough to write`
+}
+
+func (b *box) badAfterConditionalUnlock(flush bool) {
+	b.mu.Lock()
+	if flush {
+		b.s = nil
+		b.mu.Unlock()
+	}
+	b.n++ // want `field n is written without b\.mu held`
+}
+
+// A closure may run on another goroutine or after the deferred unlock;
+// the lock held at creation proves nothing at call time.
+func (b *box) badClosure() func() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return func() int { return b.n } // want `field n is read without b\.mu held`
+}
+
+func (b *badbox) useX() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.x
+}

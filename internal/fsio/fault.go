@@ -33,16 +33,16 @@ type FaultFS struct {
 	inner FS
 
 	mu         sync.Mutex
-	ops        int
-	failAt     int
-	crash      bool
-	shortWrite bool
-	err        error
-	tripped    bool
+	ops        int   // guarded by mu
+	failAt     int   // guarded by mu
+	crash      bool  // guarded by mu
+	shortWrite bool  // guarded by mu
+	err        error // guarded by mu
+	tripped    bool  // guarded by mu
 
-	readPath  string
-	readOff   int64
-	readArmed bool
+	readPath  string // guarded by mu
+	readOff   int64  // guarded by mu
+	readArmed bool   // guarded by mu
 }
 
 // NewFaultFS wraps inner (usually OS) with fault injection disabled:
@@ -123,21 +123,23 @@ func (f *FaultFS) Tripped() bool {
 	return f.tripped
 }
 
-// step numbers one mutating operation. It returns (firstTrip, err):
-// err non-nil means the operation must fail; firstTrip marks the
-// operation that tripped the fault (short-write handling needs it).
-func (f *FaultFS) step() (bool, error) {
+// step numbers one mutating operation. err non-nil means the operation
+// must fail; first marks the operation that tripped the fault, and
+// short is the shortWrite setting captured under the same lock — Write
+// needs both and must not re-read the configuration outside the
+// critical section.
+func (f *FaultFS) step() (first, short bool, err error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.ops++
 	if f.tripped && f.crash {
-		return false, f.err
+		return false, f.shortWrite, f.err
 	}
 	if f.failAt > 0 && f.ops == f.failAt && !f.tripped {
 		f.tripped = true
-		return true, f.err
+		return true, f.shortWrite, f.err
 	}
-	return false, nil
+	return false, f.shortWrite, nil
 }
 
 func (f *FaultFS) readFault(name string, off int64, n int) error {
@@ -160,7 +162,7 @@ func (f *FaultFS) wrap(file File, err error) (File, error) {
 }
 
 func (f *FaultFS) Create(name string) (File, error) {
-	if _, err := f.step(); err != nil {
+	if _, _, err := f.step(); err != nil {
 		return nil, err
 	}
 	return f.wrap(f.inner.Create(name))
@@ -171,42 +173,42 @@ func (f *FaultFS) Open(name string) (File, error) {
 }
 
 func (f *FaultFS) CreateTemp(dir, pattern string) (File, error) {
-	if _, err := f.step(); err != nil {
+	if _, _, err := f.step(); err != nil {
 		return nil, err
 	}
 	return f.wrap(f.inner.CreateTemp(dir, pattern))
 }
 
 func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
-	if _, err := f.step(); err != nil {
+	if _, _, err := f.step(); err != nil {
 		return err
 	}
 	return f.inner.MkdirAll(path, perm)
 }
 
 func (f *FaultFS) MkdirTemp(dir, pattern string) (string, error) {
-	if _, err := f.step(); err != nil {
+	if _, _, err := f.step(); err != nil {
 		return "", err
 	}
 	return f.inner.MkdirTemp(dir, pattern)
 }
 
 func (f *FaultFS) Rename(oldpath, newpath string) error {
-	if _, err := f.step(); err != nil {
+	if _, _, err := f.step(); err != nil {
 		return err
 	}
 	return f.inner.Rename(oldpath, newpath)
 }
 
 func (f *FaultFS) Remove(name string) error {
-	if _, err := f.step(); err != nil {
+	if _, _, err := f.step(); err != nil {
 		return err
 	}
 	return f.inner.Remove(name)
 }
 
 func (f *FaultFS) RemoveAll(path string) error {
-	if _, err := f.step(); err != nil {
+	if _, _, err := f.step(); err != nil {
 		return err
 	}
 	return f.inner.RemoveAll(path)
@@ -217,7 +219,7 @@ func (f *FaultFS) ReadFile(name string) ([]byte, error)  { return f.inner.ReadFi
 func (f *FaultFS) Glob(pattern string) ([]string, error) { return f.inner.Glob(pattern) }
 
 func (f *FaultFS) SyncDir(path string) error {
-	if _, err := f.step(); err != nil {
+	if _, _, err := f.step(); err != nil {
 		return err
 	}
 	return f.inner.SyncDir(path)
@@ -230,9 +232,9 @@ type faultFile struct {
 }
 
 func (ff *faultFile) Write(p []byte) (int, error) {
-	first, err := ff.fs.step()
+	first, short, err := ff.fs.step()
 	if err != nil {
-		if first && ff.fs.shortWrite && len(p) > 1 {
+		if first && short && len(p) > 1 {
 			n, _ := ff.File.Write(p[:len(p)/2])
 			return n, err
 		}
@@ -242,7 +244,7 @@ func (ff *faultFile) Write(p []byte) (int, error) {
 }
 
 func (ff *faultFile) Sync() error {
-	if _, err := ff.fs.step(); err != nil {
+	if _, _, err := ff.fs.step(); err != nil {
 		return err
 	}
 	return ff.File.Sync()

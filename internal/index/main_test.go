@@ -1,0 +1,15 @@
+package index
+
+import (
+	"os"
+	"testing"
+
+	"ndss/internal/leakcheck"
+)
+
+// TestMain verifies the gospawn termination contracts dynamically: a
+// parallel build or merge worker still running after the suite fails
+// the binary. NDSS_LEAKCHECK=0 disables for one-off debugging.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

@@ -27,7 +27,10 @@ type FlightSpan struct {
 }
 
 // Flight accumulates the assembled tree. Not safe for concurrent use;
-// assembly happens once, after the query, on one goroutine.
+// assembly happens once, after the query, on one goroutine — the
+// single-owner alternative to the `// guarded by <mu>` discipline
+// (docs/INVARIANTS.md#guardedby): no field here may ever be touched
+// from a spawned goroutine, so there is deliberately no mutex to name.
 type Flight struct {
 	spans []FlightSpan
 }

@@ -19,8 +19,8 @@ import (
 type resultCache struct {
 	mu  sync.Mutex
 	max int
-	ll  *list.List // front = most recent
-	m   map[string]*list.Element
+	ll  *list.List               // guarded by mu; front = most recent
+	m   map[string]*list.Element // guarded by mu
 }
 
 // cacheEntry is one cached result. Matches and Stats are shared between

@@ -1,0 +1,15 @@
+package server
+
+import (
+	"os"
+	"testing"
+
+	"ndss/internal/leakcheck"
+)
+
+// TestMain verifies the gospawn termination contracts dynamically: a
+// query, reload, or compaction goroutine still running after the suite
+// fails the binary. NDSS_LEAKCHECK=0 disables for one-off debugging.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

@@ -172,7 +172,7 @@ func (c *Config) setDefaults() {
 // queries are refused while in-flight ones drain.
 type Server struct {
 	mu     sync.RWMutex   // guards handle swaps
-	handle *backendHandle // current backend + its in-flight refcount
+	handle *backendHandle // guarded by mu; current backend + its in-flight refcount
 
 	reloadMu sync.Mutex // serializes Reload calls
 	mutateMu sync.Mutex // serializes index mutations (ingest/compact)

@@ -38,11 +38,12 @@ type slowlog struct {
 
 	// slowest holds up to cap entries; minIdx tracks the cheapest one so
 	// replacement is O(1) amortized (O(N) re-scan on replacement).
+	// guarded by mu
 	slowest []slowlogEntry
 
-	// recent is a ring of the last cap executed queries.
+	// recent is a ring of the last cap executed queries. guarded by mu
 	recent []slowlogEntry
-	next   int
+	next   int // guarded by mu
 
 	capacity int
 
@@ -81,7 +82,7 @@ func (l *slowlog) record(e slowlogEntry) {
 	case len(l.slowest) < l.capacity:
 		l.slowest = append(l.slowest, e)
 		if len(l.slowest) == l.capacity {
-			l.floorNS.Store(l.minDur())
+			l.floorNS.Store(l.minDurLocked())
 		}
 	case e.DurationNS > l.floorNS.Load():
 		mi := 0
@@ -91,7 +92,7 @@ func (l *slowlog) record(e slowlogEntry) {
 			}
 		}
 		l.slowest[mi] = e
-		l.floorNS.Store(l.minDur())
+		l.floorNS.Store(l.minDurLocked())
 	}
 	l.mu.Unlock()
 }
@@ -107,7 +108,9 @@ func (l *slowlog) wouldEnterSlowest(d time.Duration) bool {
 	return int64(d) > l.floorNS.Load()
 }
 
-func (l *slowlog) minDur() int64 {
+// minDurLocked scans for the cheapest retained entry; the caller holds
+// l.mu (the Locked suffix is the guardedby callee-side convention).
+func (l *slowlog) minDurLocked() int64 {
 	min := l.slowest[0].DurationNS
 	for _, e := range l.slowest[1:] {
 		if e.DurationNS < min {

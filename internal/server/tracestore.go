@@ -54,11 +54,11 @@ type traceRef struct {
 type traceStore struct {
 	mu          sync.Mutex
 	capacity    int
-	byID        map[string]traceRef
-	interesting []traceEntry
-	intNext     int
-	sampled     []traceEntry
-	sampNext    int
+	byID        map[string]traceRef // guarded by mu
+	interesting []traceEntry        // guarded by mu
+	intNext     int                 // guarded by mu
+	sampled     []traceEntry        // guarded by mu
+	sampNext    int                 // guarded by mu
 }
 
 // newTraceStore returns a store with capacity entries per ring; 0

@@ -55,12 +55,12 @@ func (s BreakerState) String() string {
 // barely-recovered replica.
 type breaker struct {
 	mu        sync.Mutex
-	state     BreakerState
-	fails     int // consecutive failures while Closed
-	threshold int
-	cooldown  time.Duration
-	openedAt  time.Time
-	trialOut  bool // a half-open trial request is in flight
+	state     BreakerState  // guarded by mu
+	fails     int           // guarded by mu; consecutive failures while Closed
+	threshold int           // set before the replica set is shared; read-only after
+	cooldown  time.Duration // set before the replica set is shared; read-only after
+	openedAt  time.Time     // guarded by mu
+	trialOut  bool          // guarded by mu; a half-open trial request is in flight
 }
 
 // allow reports whether routing may send this replica a request now.

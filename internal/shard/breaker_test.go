@@ -2,6 +2,8 @@ package shard
 
 import (
 	"context"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -189,5 +191,141 @@ func TestSleepCtx(t *testing.T) {
 	cancel()
 	if sleepCtx(ctx, time.Hour) {
 		t.Fatal("sleep on a dead context returns false immediately")
+	}
+}
+
+// TestBreakerReleaseTrialProberRace pins the interaction between the
+// half-open trial slot and the background prober's reset (CheckHealth
+// success). Two properties, both of which -race alone cannot assert:
+//
+//  1. Trial accounting: while a claimed trial is unsettled (and no
+//     prober intervenes), no other allow() may claim a second trial;
+//     releaseTrial must hand the slot to exactly one next claimant.
+//  2. A prober reset during half-open zeroes the failure streak, so the
+//     stale trial's later onFailure is one Closed-state failure — the
+//     gauge-encoded state must not skip closed→open without fresh
+//     threshold (or half-open trial) accounting.
+func TestBreakerReleaseTrialProberRace(t *testing.T) {
+	// Deterministic interleaving first: trial claimed, prober resets,
+	// stale claimant fails.
+	b := &breaker{threshold: 3, cooldown: time.Millisecond}
+	for i := 0; i < 3; i++ {
+		b.onFailure()
+	}
+	if b.current() != BreakerOpen {
+		t.Fatalf("state after threshold failures = %v, want open", b.current())
+	}
+	time.Sleep(2 * time.Millisecond)
+	ok, trial := b.allow()
+	if !ok || !trial {
+		t.Fatalf("allow after cooldown = (%v, %v), want trial grant", ok, trial)
+	}
+	b.reset() // prober: successful CheckHealth while the trial is in flight
+	if b.current() != BreakerClosed {
+		t.Fatalf("state after prober reset = %v, want closed", b.current())
+	}
+	b.onFailure() // the stale trial settles as a failure
+	if got := b.current(); got == BreakerOpen {
+		t.Fatalf("one stale-trial failure after reset re-opened the breaker (state %v): closed→open without threshold accounting", got)
+	}
+
+	// Slot exclusivity under contention: with no settlement and no
+	// prober, concurrent allow() calls on a half-open breaker must grant
+	// exactly one trial; after releaseTrial, exactly one more.
+	b = &breaker{threshold: 1, cooldown: time.Millisecond}
+	b.onFailure()
+	time.Sleep(2 * time.Millisecond)
+	var trials atomic.Int64
+	hammer := func() {
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 200; i++ {
+					if _, trial := b.allow(); trial {
+						trials.Add(1)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	hammer()
+	if got := trials.Load(); got != 1 {
+		t.Fatalf("unsettled half-open breaker granted %d trials, want exactly 1", got)
+	}
+	b.releaseTrial()
+	hammer()
+	if got := trials.Load(); got != 2 {
+		t.Fatalf("after releaseTrial total trials = %d, want exactly 2 (one per settlement)", got)
+	}
+
+	// Full stress under the race detector: claimants settling through
+	// every path vs. a hot prober loop, with a sampler asserting the
+	// gauge-encoded state stays within the enum the whole time.
+	b = &breaker{threshold: 2, cooldown: time.Microsecond}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // prober
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				b.reset()
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // metrics sampler
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if s := b.current(); s != BreakerClosed && s != BreakerHalfOpen && s != BreakerOpen {
+					t.Errorf("gauge-encoded state %d outside the enum", s)
+					return
+				}
+			}
+		}
+	}()
+	var workers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		workers.Add(1)
+		go func(seed int) {
+			defer workers.Done()
+			for i := 0; i < 2000; i++ {
+				ok, trial := b.allow()
+				if !ok {
+					continue
+				}
+				switch (i + seed) % 3 {
+				case 0:
+					b.onSuccess()
+				case 1:
+					b.onFailure()
+				case 2:
+					if trial {
+						b.releaseTrial()
+					} else {
+						b.onSuccess()
+					}
+				}
+			}
+		}(g)
+	}
+	workers.Wait()
+	close(stop)
+	wg.Wait()
+
+	// Quiesce: every slot settled, so a reset breaker serves again.
+	b.reset()
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("breaker wedged after stress: allow refused on a freshly reset closed breaker")
 	}
 }

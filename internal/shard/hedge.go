@@ -19,9 +19,9 @@ const quantileWindowSize = 128
 // around — so the P95 tracks the replica's answering behaviour.
 type quantileWindow struct {
 	mu   sync.Mutex
-	buf  [quantileWindowSize]int64 // ns
-	n    int                       // filled entries
-	next int                       // ring cursor
+	buf  [quantileWindowSize]int64 // guarded by mu; ns
+	n    int                       // guarded by mu; filled entries
+	next int                       // guarded by mu; ring cursor
 }
 
 func (q *quantileWindow) observe(d time.Duration) {
@@ -62,8 +62,8 @@ func (q *quantileWindow) quantile(p float64) time.Duration {
 // while the burst capacity lets a brief blip retry immediately.
 type tokenBucket struct {
 	mu     sync.Mutex
-	tokens float64
-	max    float64
+	tokens float64 // guarded by mu
+	max    float64 // immutable after newTokenBucket
 }
 
 func newTokenBucket(burst float64) *tokenBucket {
@@ -97,7 +97,7 @@ func (b *tokenBucket) take() bool {
 // replay exactly.
 type lockedRand struct {
 	mu  sync.Mutex
-	rnd *rand.Rand
+	rnd *rand.Rand // guarded by mu
 }
 
 func newLockedRand(seed int64) *lockedRand {

@@ -58,8 +58,8 @@ type HTTPShard struct {
 	sem  chan struct{}
 
 	mu      sync.RWMutex
-	meta    index.Meta
-	buildID string
+	meta    index.Meta // guarded by mu
+	buildID string     // guarded by mu
 
 	ioBytes  atomic.Int64
 	ioTimeNS atomic.Int64

@@ -140,8 +140,8 @@ type ReplicaSet struct {
 	budgetDenied atomic.Int64
 
 	mu         sync.Mutex
-	groupBuild string
-	probeStop  context.CancelFunc
+	groupBuild string             // guarded by mu
+	probeStop  context.CancelFunc // guarded by mu
 	probeWG    sync.WaitGroup
 }
 
